@@ -1,0 +1,53 @@
+"""Sec. 7.6 — wall-clock time to produce layouts.
+
+Paper: on TPC-H Bottom-Up needs 71 minutes and only emits a layout at
+termination; Woodblock emits trees immediately and continuously.  On
+the ErrorLogs, Greedy takes 12 minutes and Bottom-Up 432/565 minutes
+while Woodblock reaches top quality within ~30 seconds.  The shape to
+reproduce: Bottom-Up is the slowest by a wide margin; Woodblock
+produces a usable tree almost immediately (anytime property).
+"""
+
+from repro.bench import format_table
+
+
+def test_sec76_layout_construction_time(
+    benchmark,
+    tpch,
+    tpch_random,
+    tpch_bottom_up,
+    tpch_greedy,
+    tpch_rl,
+):
+    def collect():
+        return {
+            layout.label: layout.build_seconds
+            for layout in (tpch_random, tpch_bottom_up, tpch_greedy, tpch_rl)
+        }
+
+    times = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rl_result = tpch_rl.rl_result
+    assert rl_result is not None
+    first_tree_s = rl_result.curve[0].elapsed_seconds if rl_result.curve else 0.0
+    rows = [[label, f"{seconds:.2f}s"] for label, seconds in times.items()]
+    rows.append(["woodblock (first usable tree)", f"{first_tree_s:.2f}s"])
+    print()
+    print(
+        format_table(
+            ["approach", "build time"],
+            rows,
+            title="Sec 7.6 layout production time — paper (TPC-H): "
+            "BU 71min (layout only at termination); Woodblock emits "
+            "trees continuously, ~10min to converge",
+        )
+    )
+    # Shape assertions.  At paper scale Bottom-Up's clustering is the
+    # slowest by far (quadratic in unique feature vectors); our
+    # vectorized BU at 40K rows finishes in under a second, so the
+    # transferable shape claims are: (a) Woodblock's first usable tree
+    # arrives within seconds — long before its own training budget is
+    # exhausted (anytime property, unlike BU's only-at-termination
+    # layout); (b) workload-oblivious shuffling is the cheapest.
+    assert first_tree_s < 0.25 * times["woodblock"]
+    assert first_tree_s < 5.0
+    assert times["random"] < times["greedy"]

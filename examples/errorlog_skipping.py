@@ -1,0 +1,90 @@
+"""ErrorLog: aggressive skipping on a highly selective log workload.
+
+The paper's Sec. 7.5 scenario: crash-dump logs queried by tiny
+needle-in-haystack lookups (selectivity well below 1%).  The deployed
+range-on-ingest-time baseline cannot skip anything because queries
+never filter on ingest time; a learned qd-tree skips almost
+everything.  This example builds Range, BU+ (tuned Bottom-Up), Greedy
+and Woodblock layouts over the synthetic ErrorLog-Int dataset and
+reports access percentages and modeled runtimes.
+
+Run:  python examples/errorlog_skipping.py [--rows 60000] [--queries 300]
+"""
+
+import argparse
+
+from repro.baselines import BottomUpConfig, BottomUpPartitioner, RangePartitioner
+from repro.bench import (
+    build_baseline_layout,
+    build_greedy_layout,
+    build_rl_layout,
+    format_table,
+    logical_access_pct,
+    run_physical,
+)
+from repro.engine import SPARK_PARQUET
+from repro.workloads import errorlog_int_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=60_000)
+    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument("--episodes", type=int, default=40)
+    args = parser.parse_args()
+
+    dataset = errorlog_int_dataset(num_rows=args.rows, num_queries=args.queries)
+    registry = dataset.registry()
+    sel = 100 * dataset.workload.selectivity(dataset.table)
+    print(f"{dataset}; b = {dataset.min_block_size}; "
+          f"workload selectivity {sel:.4f}%")
+
+    block = max(dataset.min_block_size, 64)
+    # Range blocks sized so block dictionaries saturate (as at the
+    # paper's 100M-row scale); see benchmarks/conftest.py.
+    range_block = max(block * 8, dataset.num_rows // 12)
+    layouts = [
+        build_baseline_layout(
+            dataset,
+            RangePartitioner(column="ingest_date", block_size=range_block),
+        ),
+        build_baseline_layout(
+            dataset,
+            BottomUpPartitioner(
+                registry,
+                dataset.workload,
+                BottomUpConfig(
+                    min_block_size=block,
+                    selectivity_threshold=0.1,
+                    name="bottom-up+",
+                ),
+            ),
+        ),
+        build_greedy_layout(dataset, registry=registry),
+        build_rl_layout(dataset, registry=registry, episodes=args.episodes),
+    ]
+
+    rows = []
+    for layout in layouts:
+        pct = logical_access_pct(layout, dataset.workload)
+        report = run_physical(layout, dataset.workload, SPARK_PARQUET)
+        rows.append(
+            [
+                layout.label,
+                layout.num_blocks,
+                f"{pct:.3f}%",
+                f"{report.total_modeled_ms / 1000:.2f}s",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["layout", "blocks", "access %", "workload runtime"],
+            rows,
+            title="ErrorLog-Int layouts",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a full reproduction of "Qd-tree: Learning Data Layouts for
+Big Data Analytics" (Yang et al., SIGMOD 2020).
+
+The package implements the qd-tree data structure, its greedy and deep
+reinforcement-learning (Woodblock) construction algorithms, the
+block-based columnar storage and scan-engine substrates the paper's
+experiments run on, every baseline the paper compares against, and the
+three evaluation workloads.
+
+Subpackages
+-----------
+``repro.core``
+    Qd-tree, predicates, cost model, greedy construction, routers,
+    overlap/replication extensions.
+``repro.rl``
+    Woodblock: the PPO agent that learns to construct qd-trees.
+``repro.sql``
+    A small SQL WHERE-clause planner for candidate-cut extraction.
+``repro.storage``
+    Dictionary-encoded tables, columnar blocks, min-max indexes.
+``repro.engine``
+    Scan-oriented execution engine with pluggable cost profiles.
+``repro.baselines``
+    Random, range, Bottom-Up (Sun et al.) and k-d tree partitioners.
+``repro.workloads``
+    TPC-H-like, ErrorLog-Int/Ext, and microbenchmark generators.
+``repro.bench``
+    Experiment harness and metrics used by the ``benchmarks/`` suite.
+"""
+
+from . import baselines, bench, core, engine, rl, sql, storage, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "bench",
+    "core",
+    "engine",
+    "rl",
+    "sql",
+    "storage",
+    "workloads",
+]

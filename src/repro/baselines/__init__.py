@@ -1,0 +1,19 @@
+"""Baseline partitioners the paper compares against (Sec. 7.3)."""
+
+from .hash_part import HashPartitioner
+from .bottom_up import BottomUpConfig, BottomUpPartitioner, select_features
+from .kdtree import KdTreePartitioner
+from .simple import RandomPartitioner, RangePartitioner
+from .subsumption import implies, unary_implies
+
+__all__ = [
+    "BottomUpConfig",
+    "HashPartitioner",
+    "BottomUpPartitioner",
+    "KdTreePartitioner",
+    "RandomPartitioner",
+    "RangePartitioner",
+    "implies",
+    "select_features",
+    "unary_implies",
+]

@@ -1,0 +1,63 @@
+"""Classic k-d tree partitioner (Bentley 1975).
+
+The paper positions the k-d tree as the heuristic special case of a
+qd-tree (Sec. 3): cuts alternate round-robin across dimensions and
+split at each dimension's median, with no workload awareness.  Included
+as an extra baseline to quantify what workload guidance buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.table import Table
+
+__all__ = ["KdTreePartitioner"]
+
+
+@dataclass
+class KdTreePartitioner:
+    """Median-split k-d tree over the given (numeric) columns."""
+
+    columns: Sequence[str]
+    min_block_size: int
+    name: str = "kd-tree"
+
+    def partition(self, table: Table) -> np.ndarray:
+        """Per-row BID assignment."""
+        if not self.columns:
+            raise ValueError("kd-tree needs at least one column")
+        if self.min_block_size < 1:
+            raise ValueError("min_block_size must be >= 1")
+        bids = np.zeros(table.num_rows, dtype=np.int64)
+        next_bid = [0]
+        data = {name: table.column(name) for name in self.columns}
+
+        def split(indices: np.ndarray, depth: int) -> None:
+            if len(indices) < 2 * self.min_block_size:
+                bids[indices] = next_bid[0]
+                next_bid[0] += 1
+                return
+            column = self.columns[depth % len(self.columns)]
+            values = data[column][indices]
+            median = np.median(values)
+            left_mask = values < median
+            # Degenerate medians (constant columns) end the recursion.
+            if not left_mask.any() or left_mask.all():
+                bids[indices] = next_bid[0]
+                next_bid[0] += 1
+                return
+            if left_mask.sum() < self.min_block_size or (
+                (~left_mask).sum() < self.min_block_size
+            ):
+                bids[indices] = next_bid[0]
+                next_bid[0] += 1
+                return
+            split(indices[left_mask], depth + 1)
+            split(indices[~left_mask], depth + 1)
+
+        split(np.arange(table.num_rows), 0)
+        return bids

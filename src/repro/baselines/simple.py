@@ -1,0 +1,63 @@
+"""Workload-oblivious baseline partitioners (paper Sec. 7.3).
+
+* :class:`RandomPartitioner` — shuffles records into fixed-size blocks
+  (the paper's TPC-H baseline; equivalent to arrival-order row groups
+  over uniformly shuffled data).
+* :class:`RangePartitioner` — range partitioning on one column,
+  typically an ingest-time column (the deployed default for the
+  paper's ErrorLog workloads; also covers "date partitioning",
+  Sec. 2.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..storage.table import Table
+
+__all__ = ["RandomPartitioner", "RangePartitioner"]
+
+
+@dataclass
+class RandomPartitioner:
+    """Shuffle rows and chop them into blocks of ``block_size`` rows."""
+
+    block_size: int
+    seed: int = 0
+    name: str = "random"
+
+    def partition(self, table: Table) -> np.ndarray:
+        """Per-row BID assignment."""
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(table.num_rows)
+        bids = np.empty(table.num_rows, dtype=np.int64)
+        bids[order] = np.arange(table.num_rows) // self.block_size
+        return bids
+
+
+@dataclass
+class RangePartitioner:
+    """Sort by ``column`` and chop into blocks of ``block_size`` rows.
+
+    With ``column`` set to an ingest-time attribute this is the
+    paper's "Range baseline"; block min-max indexes then prune on the
+    sort column only.
+    """
+
+    column: str
+    block_size: int
+    name: str = "range"
+
+    def partition(self, table: Table) -> np.ndarray:
+        """Per-row BID assignment."""
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        order = np.argsort(table.column(self.column), kind="stable")
+        bids = np.empty(table.num_rows, dtype=np.int64)
+        bids[order] = np.arange(table.num_rows) // self.block_size
+        return bids

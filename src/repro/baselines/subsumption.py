@@ -1,0 +1,88 @@
+"""Predicate implication ("subsumption") tests.
+
+Sun et al.'s Bottom-Up row grouping scores each feature by the number
+of queries it *subsumes*: query ``q`` is subsumed by feature ``f`` when
+``q`` is stricter than ``f`` (``q ⇒ f``), because then a block where no
+tuple satisfies ``f`` can be skipped for ``q`` (paper Sec. 2.2.2).
+
+Implication checking here is sound but conservative (it may miss some
+implications, never invents one):
+
+* unary vs unary on the same column: value-set containment;
+* ``AND(q1..qk) ⇒ f`` if **some** conjunct implies ``f``;
+* ``OR(q1..qk) ⇒ f`` only if **every** disjunct implies ``f``;
+* advanced cuts: only syntactic identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.hypercube import Interval
+from ..core.predicates import (
+    AdvancedCut,
+    And,
+    ColumnPredicate,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["implies", "unary_implies"]
+
+
+def _value_interval(pred: ColumnPredicate) -> Optional[Interval]:
+    """The satisfied value set as an interval, when expressible."""
+    if pred.op.is_range or pred.op is Op.EQ:
+        return Interval.from_predicate(pred)
+    return None
+
+
+def unary_implies(p: ColumnPredicate, f: ColumnPredicate) -> bool:
+    """Does unary ``p`` imply unary ``f``? (conservative)"""
+    if p.column != f.column:
+        return False
+    if p == f:
+        return True
+    p_set = frozenset(p.values) if p.op.is_equality else None
+    f_set = frozenset(f.values) if f.op.is_equality else None
+    if p_set is not None and f_set is not None:
+        return p_set <= f_set
+    p_iv = _value_interval(p)
+    f_iv = _value_interval(f)
+    if p_iv is not None and f_iv is not None:
+        return f_iv.contains_interval(p_iv)
+    if p_set is not None and f_iv is not None:
+        return all(f_iv.contains(v) for v in p_set)
+    if p_iv is not None and f_set is not None:
+        # An interval implies a finite set only when degenerate.
+        if p.op is Op.EQ:
+            return p.value in f_set
+        return False
+    return False
+
+
+def implies(query: Predicate, feature: Predicate) -> bool:
+    """Does ``query`` imply ``feature``? (conservative)
+
+    ``feature`` is expected to be a unary predicate or an advanced cut
+    (that is what the Bottom-Up feature set contains).
+    """
+    if isinstance(feature, TruePredicate):
+        return True
+    if isinstance(query, TruePredicate):
+        return False
+    if isinstance(query, And):
+        return any(implies(child, feature) for child in query.children)
+    if isinstance(query, Or):
+        return all(implies(child, feature) for child in query.children)
+    if isinstance(query, Not):
+        # Only syntactic matches for negations.
+        return isinstance(feature, Not) and query == feature
+    if isinstance(query, AdvancedCut) or isinstance(feature, AdvancedCut):
+        return query == feature
+    if isinstance(query, ColumnPredicate) and isinstance(feature, ColumnPredicate):
+        return unary_implies(query, feature)
+    return False

@@ -1,0 +1,122 @@
+"""Terminal plotting: render benchmark series without matplotlib.
+
+The benchmark suite runs in minimal environments, so figures are drawn
+as fixed-grid ASCII charts: line charts for learning curves (Fig. 8),
+step charts for CDFs (Fig. 6b / 7c) and bar charts for per-template
+runtimes (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["line_chart", "bar_chart", "cdf_chart"]
+
+
+def _scale(
+    values: np.ndarray, lo: float, hi: float, cells: int
+) -> np.ndarray:
+    """Map values into integer grid cells [0, cells-1]."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    frac = (np.asarray(values, dtype=float) - lo) / (hi - lo)
+    return np.clip((frac * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """An ASCII line chart of one (x, y) series."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) == 0:
+        return f"{title or 'chart'}: empty"
+    grid = [[" "] * width for _ in range(height)]
+    x_cells = _scale(xs, xs.min(), xs.max(), width)
+    y_cells = _scale(ys, ys.min(), ys.max(), height)
+    for cx, cy in zip(x_cells, y_cells):
+        grid[height - 1 - cy][cx] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ys.max():>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{ys.min():>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 11 + "└" + "─" * width
+    )
+    lines.append(
+        " " * 12 + f"{xs.min():<.4g}"
+        + " " * max(1, width - 16)
+        + f"{xs.max():>.4g}  ({x_label} vs {y_label})"
+    )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart."""
+    if not values:
+        return f"{title or 'chart'}: empty"
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in values.items():
+        bar = "█" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{key:>{label_width}} │{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    width: int = 60,
+    height: int = 10,
+    x_label: str = "value",
+    title: Optional[str] = None,
+    log_x: bool = False,
+) -> str:
+    """An ASCII CDF (step) chart; ``log_x`` for wide-range speedups."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    finite = np.isfinite(xs)
+    xs, ys = xs[finite], ys[finite]
+    if len(xs) == 0:
+        return f"{title or 'cdf'}: empty"
+    plot_x = np.log10(np.maximum(xs, 1e-12)) if log_x else xs
+    grid = [[" "] * width for _ in range(height)]
+    x_cells = _scale(plot_x, plot_x.min(), plot_x.max(), width)
+    y_cells = _scale(ys, 0.0, 1.0, height)
+    for cx, cy in zip(x_cells, y_cells):
+        grid[height - 1 - cy][cx] = "▒"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("      1.00 ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append("      0.00 ┤" + "".join(grid[-1]))
+    lines.append(" " * 11 + "└" + "─" * width)
+    lo = f"{xs.min():.3g}"
+    hi = f"{xs.max():.3g}"
+    scale_note = " (log x)" if log_x else ""
+    lines.append(
+        " " * 12 + lo + " " * max(1, width - len(lo) - len(hi) - 2)
+        + hi + f"  ({x_label}{scale_note})"
+    )
+    return "\n".join(lines)

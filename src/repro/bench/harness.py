@@ -1,0 +1,190 @@
+"""Experiment harness: build layouts, run workloads, compare.
+
+Glue used by every ``benchmarks/`` module: construct a physical layout
+with any partitioner (qd-tree greedy/RL or a baseline), materialize a
+:class:`~repro.storage.blocks.BlockStore`, execute a workload through
+the :class:`~repro.engine.executor.ScanEngine`, and report both logical
+(access %) and physical (modeled runtime) metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cost import leaf_sizes, scan_ratio
+from ..core.cuts import CutRegistry
+from ..core.greedy import GreedyConfig, build_greedy_tree
+from ..core.router import QueryRouter
+from ..core.tree import QdTree
+from ..core.workload import Workload
+from ..engine.executor import ScanEngine
+from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..engine.stats import WorkloadReport
+from ..rl.woodblock import Woodblock, WoodblockConfig, WoodblockResult
+from ..storage.blocks import BlockStore
+from ..storage.table import Table
+from ..workloads.base import Dataset
+
+__all__ = [
+    "LayoutResult",
+    "build_greedy_layout",
+    "build_rl_layout",
+    "build_baseline_layout",
+    "logical_access_pct",
+    "run_physical",
+    "sample_for_construction",
+]
+
+
+@dataclass
+class LayoutResult:
+    """A materialized layout plus provenance."""
+
+    label: str
+    store: BlockStore
+    tree: Optional[QdTree]
+    build_seconds: float
+    #: Training diagnostics for RL layouts.
+    rl_result: Optional[WoodblockResult] = None
+
+    @property
+    def num_blocks(self) -> int:
+        return self.store.num_blocks
+
+
+def sample_for_construction(
+    dataset: Dataset, sample_ratio: Optional[float], seed: int = 0
+) -> Tuple[Table, int]:
+    """(construction sample, b scaled to sample rows) — Sec. 5.2.1.
+
+    ``sample_ratio=None`` uses the full table (appropriate at our
+    generated scales; the paper samples 0.1%-1% of 77M+ rows).
+    """
+    if sample_ratio is None:
+        return dataset.table, dataset.min_block_size
+    rng = np.random.default_rng(seed)
+    sample = dataset.table.sample(sample_ratio, rng)
+    scaled_b = max(1, round(dataset.min_block_size * sample_ratio))
+    return sample, scaled_b
+
+
+def build_greedy_layout(
+    dataset: Dataset,
+    registry: Optional[CutRegistry] = None,
+    sample_ratio: Optional[float] = None,
+    label: str = "greedy",
+) -> LayoutResult:
+    """Greedy qd-tree layout over the dataset."""
+    registry = registry if registry is not None else dataset.registry()
+    sample, b = sample_for_construction(dataset, sample_ratio)
+    t0 = time.perf_counter()
+    tree = build_greedy_tree(
+        dataset.schema,
+        registry,
+        sample,
+        dataset.workload,
+        GreedyConfig(min_leaf_size=b),
+    )
+    build_seconds = time.perf_counter() - t0
+    store = materialize_tree(tree, dataset.table)
+    return LayoutResult(label, store, tree, build_seconds)
+
+
+def build_rl_layout(
+    dataset: Dataset,
+    registry: Optional[CutRegistry] = None,
+    sample_ratio: Optional[float] = None,
+    episodes: int = 150,
+    time_budget_seconds: Optional[float] = None,
+    hidden_dim: int = 128,
+    seed: int = 0,
+    label: str = "woodblock",
+) -> LayoutResult:
+    """Woodblock (RL) qd-tree layout over the dataset."""
+    registry = registry if registry is not None else dataset.registry()
+    sample, b = sample_for_construction(dataset, sample_ratio, seed=seed)
+    config = WoodblockConfig(
+        min_leaf_size=b,
+        episodes=episodes,
+        time_budget_seconds=time_budget_seconds,
+        hidden_dim=hidden_dim,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    agent = Woodblock(dataset.schema, registry, sample, dataset.workload, config)
+    result = agent.train()
+    build_seconds = time.perf_counter() - t0
+    store = materialize_tree(result.best_tree, dataset.table)
+    return LayoutResult(label, store, result.best_tree, build_seconds, result)
+
+
+def materialize_tree(tree: QdTree, table: Table) -> BlockStore:
+    """Freeze the tree over the full table and emit blocks."""
+    bids = tree.freeze(table)
+    return BlockStore.from_assignment(
+        table, bids, descriptions=tree.leaf_descriptions()
+    )
+
+
+def build_baseline_layout(
+    dataset: Dataset,
+    partitioner,
+    label: Optional[str] = None,
+) -> LayoutResult:
+    """Layout from any object with ``partition(table) -> bids``."""
+    t0 = time.perf_counter()
+    bids = partitioner.partition(dataset.table)
+    build_seconds = time.perf_counter() - t0
+    store = BlockStore.from_assignment(dataset.table, bids)
+    return LayoutResult(
+        label or getattr(partitioner, "name", "baseline"),
+        store,
+        None,
+        build_seconds,
+    )
+
+
+def logical_access_pct(
+    layout: LayoutResult,
+    workload: Workload,
+    use_routing: bool = True,
+    num_advanced_cuts: int = 0,
+) -> float:
+    """Table-2-style % tuples accessed for a layout.
+
+    Qd-tree layouts route queries through the tree (semantic
+    descriptions + tightened min-max); baseline layouts rely on SMA
+    pruning alone.
+    """
+    engine = ScanEngine(
+        layout.store, SPARK_PARQUET, num_advanced_cuts=num_advanced_cuts
+    )
+    routed: Optional[List[Optional[Sequence[int]]]] = None
+    if use_routing and layout.tree is not None:
+        router = QueryRouter(layout.tree)
+        routed = [router.route(q).block_ids for q in workload]
+    stats = engine.execute_workload(workload, routed)
+    report = WorkloadReport(layout.label, stats)
+    return report.access_percentage(layout.store.logical_rows)
+
+
+def run_physical(
+    layout: LayoutResult,
+    workload: Workload,
+    profile: CostProfile = SPARK_PARQUET,
+    use_routing: bool = True,
+    num_advanced_cuts: int = 0,
+) -> WorkloadReport:
+    """Execute the workload physically; returns the full report."""
+    engine = ScanEngine(layout.store, profile, num_advanced_cuts=num_advanced_cuts)
+    routed: Optional[List[Optional[Sequence[int]]]] = None
+    if use_routing and layout.tree is not None:
+        router = QueryRouter(layout.tree)
+        routed = [router.route(q).block_ids for q in workload]
+    stats = engine.execute_workload(workload, routed)
+    suffix = "" if use_routing and layout.tree is not None else " (no route)"
+    return WorkloadReport(layout.label + suffix, stats)

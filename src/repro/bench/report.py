@@ -1,0 +1,83 @@
+"""Plain-text result tables for benchmark output.
+
+The benchmark suite prints the same rows/series the paper reports;
+these helpers format them consistently so EXPERIMENTS.md can be
+assembled from bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_table", "format_cdf", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    quantiles: Sequence[float] = (0.25, 0.5, 0.75, 0.9, 1.0),
+    label: str = "value",
+) -> str:
+    """Summarize a CDF at selected quantiles."""
+    if len(xs) == 0:
+        return f"{label}: empty"
+    lines = [f"CDF of {label} ({len(xs)} points):"]
+    for q in quantiles:
+        idx = min(len(xs) - 1, int(np.ceil(q * len(xs))) - 1)
+        lines.append(f"  p{int(q * 100):>3}: {_fmt(xs[idx])}")
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Sequence[Tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 20,
+) -> str:
+    """A compact (x, y) series listing (learning curves etc.)."""
+    if not points:
+        return f"{x_label}/{y_label}: empty"
+    step = max(1, len(points) // max_points)
+    chosen = list(points[::step])
+    if chosen[-1] != points[-1]:
+        chosen.append(points[-1])
+    lines = [f"{x_label:>12} {y_label:>12}"]
+    for x, y in chosen:
+        lines.append(f"{_fmt(x):>12} {_fmt(y):>12}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        v = float(value)
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(value)

@@ -1,0 +1,197 @@
+"""Command-line interface: learn, inspect and query qd-tree layouts.
+
+Subcommands
+-----------
+
+``build``
+    Learn a layout for a saved table (see
+    :func:`repro.storage.save_table`) from a file of SQL queries (one
+    per line), write the partitioned block store + tree next to it.
+``inspect``
+    Print a saved layout's block descriptions and cut histogram.
+``route``
+    Route one SQL query against a saved layout: prints the pruned BID
+    list and scan statistics.
+
+Example::
+
+    python -m repro.cli build  --table t/ --queries wl.sql --out layout/
+    python -m repro.cli inspect --layout layout/
+    python -m repro.cli route  --layout layout/ \
+        --sql "SELECT * FROM t WHERE x < 10"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .bench.harness import materialize_tree
+from .core.greedy import GreedyConfig, build_greedy_tree
+from .core.router import QueryRouter
+from .core.tree import QdTree
+from .engine.executor import ScanEngine
+from .engine.profiles import SPARK_PARQUET
+from .rl.woodblock import Woodblock, WoodblockConfig
+from .sql.planner import SqlPlanner
+from .storage.catalog import load_store, load_table, save_store
+
+__all__ = ["main"]
+
+_TREE_FILE = "qdtree.json"
+_META_FILE = "layout-meta.json"
+
+
+def _read_queries(path: Path) -> List[str]:
+    statements = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("--"):
+            statements.append(line)
+    if not statements:
+        raise SystemExit(f"no queries found in {path}")
+    return statements
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    table = load_table(args.table)
+    planner = SqlPlanner(table.schema)
+    statements = _read_queries(Path(args.queries))
+    workload = planner.plan_workload(statements)
+    registry = planner.candidate_cuts(workload)
+    print(
+        f"planned {len(workload)} queries -> {len(registry)} candidate cuts "
+        f"({registry.num_advanced_cuts} advanced)"
+    )
+    if args.method == "greedy":
+        tree = build_greedy_tree(
+            table.schema,
+            registry,
+            table,
+            workload,
+            GreedyConfig(min_leaf_size=args.min_block_size),
+        )
+    else:
+        agent = Woodblock(
+            table.schema,
+            registry,
+            table,
+            workload,
+            WoodblockConfig(
+                min_leaf_size=args.min_block_size,
+                episodes=args.episodes,
+                hidden_dim=args.hidden_dim,
+                seed=args.seed,
+            ),
+        )
+        result = agent.train()
+        tree = result.best_tree
+        print(
+            f"trained {result.episodes_run} episodes; "
+            f"best sample scan ratio {result.best_scan_ratio:.4f}"
+        )
+    store = materialize_tree(tree, table)
+    out = Path(args.out)
+    save_store(store, out)
+    tree.save(str(out / _TREE_FILE))
+    (out / _META_FILE).write_text(
+        json.dumps(
+            {
+                "method": args.method,
+                "min_block_size": args.min_block_size,
+                "num_blocks": store.num_blocks,
+                "queries": statements,
+            },
+            indent=2,
+        )
+    )
+    print(f"wrote {store.num_blocks} blocks to {out}/")
+    return 0
+
+
+def _load_layout(path: Path):
+    store = load_store(path)
+    meta = json.loads((path / _META_FILE).read_text())
+    planner = SqlPlanner(store.schema)
+    workload = planner.plan_workload(meta["queries"])
+    registry = planner.candidate_cuts(workload)
+    tree = QdTree.load(str(path / _TREE_FILE), store.schema, registry)
+    return store, tree, registry, planner
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    store, tree, _, _ = _load_layout(Path(args.layout))
+    print(f"{store.num_blocks} blocks over {store.logical_rows} rows "
+          f"(tree depth {tree.depth()})")
+    print("\ncut histogram:")
+    for column, count in sorted(
+        tree.cut_histogram().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {column:<20} {count}")
+    print("\nblock descriptions:")
+    sizes = {b.block_id: b.num_rows for b in store}
+    for bid, description in sorted(tree.leaf_descriptions().items()):
+        print(f"  block {bid} ({sizes.get(bid, 0)} rows): {description}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    store, tree, registry, planner = _load_layout(Path(args.layout))
+    planned = planner.plan(args.sql)
+    router = QueryRouter(tree)
+    routed = router.route(planned.query)
+    engine = ScanEngine(
+        store, SPARK_PARQUET, num_advanced_cuts=registry.num_advanced_cuts
+    )
+    stats = engine.execute(planned.query, routed.block_ids)
+    print(f"routed to {len(routed.block_ids)}/{store.num_blocks} blocks "
+          f"in {1000 * routed.latency_seconds:.2f} ms")
+    print(f"BID IN ({','.join(str(b) for b in routed.block_ids)})")
+    print(f"scanned {stats.tuples_scanned} tuples, "
+          f"returned {stats.rows_returned} rows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="learn a layout from SQL queries")
+    p_build.add_argument("--table", required=True,
+                         help="directory written by save_table()")
+    p_build.add_argument("--queries", required=True,
+                         help="file of SQL statements, one per line")
+    p_build.add_argument("--out", required=True, help="output directory")
+    p_build.add_argument("--method", choices=("greedy", "woodblock"),
+                         default="greedy")
+    p_build.add_argument("--min-block-size", type=int, default=1000)
+    p_build.add_argument("--episodes", type=int, default=100)
+    p_build.add_argument("--hidden-dim", type=int, default=128)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_inspect = sub.add_parser("inspect", help="describe a saved layout")
+    p_inspect.add_argument("--layout", required=True)
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_route = sub.add_parser("route", help="route a SQL query")
+    p_route.add_argument("--layout", required=True)
+    p_route.add_argument("--sql", required=True)
+    p_route.set_defaults(func=_cmd_route)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Query workloads: the ``W`` of Problem 1.
+
+A :class:`Query` wraps a filter predicate with provenance metadata
+(template name, seed) so per-template reporting (paper Fig. 5) and
+train/test splits (Sec. 7.4.1 robustness) are possible.  A
+:class:`Workload` is an ordered collection of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.table import Table
+from .predicates import Predicate
+
+__all__ = ["Query", "Workload"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query's pushed-down filter plus metadata.
+
+    ``columns`` optionally lists the columns the full query reads
+    (projection); the engine uses it to charge columnar scan costs.
+    When omitted, the filter's referenced columns are used.
+    """
+
+    predicate: Predicate
+    name: str = ""
+    template: str = ""
+    columns: Tuple[str, ...] = ()
+
+    def scan_columns(self) -> Tuple[str, ...]:
+        """Columns a scan of this query must read."""
+        if self.columns:
+            return self.columns
+        return tuple(sorted(self.predicate.referenced_columns()))
+
+    def __repr__(self) -> str:
+        label = self.name or self.template or "query"
+        return f"Query({label}: {self.predicate!r})"
+
+
+class Workload:
+    """An ordered set of queries with helpers for evaluation."""
+
+    def __init__(self, queries: Iterable[Query]) -> None:
+        self._queries: List[Query] = list(queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    @property
+    def queries(self) -> Tuple[Query, ...]:
+        return tuple(self._queries)
+
+    def predicates(self) -> List[Predicate]:
+        return [q.predicate for q in self._queries]
+
+    def templates(self) -> List[str]:
+        """Distinct template names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for q in self._queries:
+            if q.template and q.template not in seen:
+                seen[q.template] = None
+        return list(seen)
+
+    def by_template(self) -> Dict[str, List[Query]]:
+        """Group queries by template name."""
+        groups: Dict[str, List[Query]] = {}
+        for q in self._queries:
+            groups.setdefault(q.template or q.name or "", []).append(q)
+        return groups
+
+    def selectivity(self, table: Table) -> float:
+        """Mean fraction of rows selected per query — the true workload
+        selectivity, the lower bound for any layout's scan ratio."""
+        if not self._queries or table.num_rows == 0:
+            return 0.0
+        columns = table.columns()
+        total = 0
+        for q in self._queries:
+            total += int(q.predicate.evaluate(columns).sum())
+        return total / (len(self._queries) * table.num_rows)
+
+    def selected_counts(self, table: Table) -> np.ndarray:
+        """Per-query count of selected rows."""
+        columns = table.columns()
+        return np.array(
+            [int(q.predicate.evaluate(columns).sum()) for q in self._queries],
+            dtype=np.int64,
+        )
+
+    def split(self, fraction: float, rng: np.random.Generator) -> Tuple["Workload", "Workload"]:
+        """Random (train, test) split of the queries."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        n = len(self._queries)
+        perm = rng.permutation(n)
+        k = max(1, int(round(n * fraction)))
+        train = [self._queries[i] for i in sorted(perm[:k])]
+        test = [self._queries[i] for i in sorted(perm[k:])]
+        return Workload(train), Workload(test)
+
+    def __repr__(self) -> str:
+        return f"Workload(queries={len(self._queries)})"

@@ -1,0 +1,21 @@
+"""Scan-oriented execution engine with pluggable cost profiles."""
+
+from .executor import QueryStats, ScanEngine
+from .profiles import (
+    COMMERCIAL_DBMS,
+    DISTRIBUTED_SPARK,
+    SPARK_PARQUET,
+    CostProfile,
+)
+from .stats import WorkloadReport, speedup_cdf
+
+__all__ = [
+    "COMMERCIAL_DBMS",
+    "CostProfile",
+    "DISTRIBUTED_SPARK",
+    "QueryStats",
+    "SPARK_PARQUET",
+    "ScanEngine",
+    "WorkloadReport",
+    "speedup_cdf",
+]

@@ -1,0 +1,89 @@
+"""Execution-engine cost profiles.
+
+The paper measures physical runtimes on three engines (single-node
+Spark over Parquet, a commercial DBMS over its own columnar format, and
+a distributed Spark cluster over blob storage, Sec. 7.1).  Our engine
+replays the same scan work over our block store and *models* the I/O
+cost of each environment with a small linear model:
+
+``runtime = blocks_scanned * block_open_ms
+          + tuples_scanned * columns_read * tuple_column_scan_ns``
+
+Profiles differ in the constants and in two structural switches the
+paper calls out:
+
+* ``columnar`` — columnar engines only read the columns a query
+  references; the row-oriented DBMS profile charges every column;
+* ``block_dictionaries`` — whether blocks carry categorical
+  distinct-value sets; the paper attributes the DBMS's poor ``no
+  route`` behaviour to the lack of block-level dictionaries for
+  categorical fields (Sec. 7.5.1).
+
+The constants are calibrated to *our* block scale, not the paper's
+wall clock: the paper's blocks hold >= 100K tuples, ours hold
+~50-5000, so per-block open cost is scaled down by the same factor to
+preserve the paper's open-cost : scan-cost balance (open ~= 10-20% of
+one average block scan).  Modeled milliseconds are therefore unit-
+consistent within an experiment but not comparable to the paper's
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CostProfile",
+    "SPARK_PARQUET",
+    "DISTRIBUTED_SPARK",
+    "COMMERCIAL_DBMS",
+]
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Linear I/O cost model of one execution environment."""
+
+    name: str
+    block_open_ms: float
+    tuple_column_scan_ns: float
+    columnar: bool
+    block_dictionaries: bool
+
+    def modeled_ms(
+        self, blocks_scanned: int, tuples_scanned: int, columns_read: int
+    ) -> float:
+        """Modeled runtime in milliseconds for one query's scan."""
+        return (
+            blocks_scanned * self.block_open_ms
+            + tuples_scanned * columns_read * self.tuple_column_scan_ns * 1e-6
+        )
+
+
+#: Single-node / distributed Spark over Parquet files on disk.
+SPARK_PARQUET = CostProfile(
+    name="spark-parquet",
+    block_open_ms=0.01,
+    tuple_column_scan_ns=60.0,
+    columnar=True,
+    block_dictionaries=True,
+)
+
+#: Spark cluster over remote blob storage: opening a block is pricier.
+DISTRIBUTED_SPARK = CostProfile(
+    name="distributed-spark",
+    block_open_ms=0.05,
+    tuple_column_scan_ns=80.0,
+    columnar=True,
+    block_dictionaries=True,
+)
+
+#: The commercial DBMS: fast row-at-a-time scans from local SSD, but
+#: row-oriented I/O and no block-level categorical dictionaries.
+COMMERCIAL_DBMS = CostProfile(
+    name="commercial-dbms",
+    block_open_ms=0.003,
+    tuple_column_scan_ns=25.0,
+    columnar=False,
+    block_dictionaries=False,
+)

@@ -1,0 +1,102 @@
+"""Workload-level reporting over per-query execution statistics.
+
+Aggregates :class:`~repro.engine.executor.QueryStats` into the numbers
+the paper's figures show: total/aggregate runtimes (Fig. 7a/b),
+per-template means (Fig. 5), per-query speedup CDFs (Fig. 7c), and
+logical access percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .executor import QueryStats
+
+__all__ = ["WorkloadReport", "speedup_cdf"]
+
+
+@dataclass
+class WorkloadReport:
+    """All per-query stats for one (layout, engine) combination."""
+
+    label: str
+    stats: List[QueryStats]
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+
+    @property
+    def total_modeled_ms(self) -> float:
+        return sum(s.modeled_ms for s in self.stats)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stats)
+
+    @property
+    def total_tuples_scanned(self) -> int:
+        return sum(s.tuples_scanned for s in self.stats)
+
+    @property
+    def total_blocks_scanned(self) -> int:
+        return sum(s.blocks_scanned for s in self.stats)
+
+    def access_percentage(self, total_rows: int) -> float:
+        """% of (tuple, query) pairs scanned — the Table 2 metric."""
+        if total_rows == 0 or not self.stats:
+            return 0.0
+        return 100.0 * self.total_tuples_scanned / (total_rows * len(self.stats))
+
+    # ------------------------------------------------------------------
+    # Per-template (Fig. 5)
+    # ------------------------------------------------------------------
+
+    def per_template_modeled_ms(self) -> Dict[str, float]:
+        """Template -> mean modeled runtime over its instances."""
+        groups: Dict[str, List[float]] = {}
+        for s in self.stats:
+            groups.setdefault(s.template or s.query_name, []).append(s.modeled_ms)
+        return {t: float(np.mean(v)) for t, v in groups.items()}
+
+    def per_query_modeled_ms(self) -> np.ndarray:
+        return np.array([s.modeled_ms for s in self.stats])
+
+    # ------------------------------------------------------------------
+
+    def speedup_over(self, baseline: "WorkloadReport") -> float:
+        """Aggregate modeled speedup of this layout over ``baseline``."""
+        mine = self.total_modeled_ms
+        theirs = baseline.total_modeled_ms
+        return theirs / mine if mine > 0 else float("inf")
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for tables."""
+        return {
+            "queries": float(len(self.stats)),
+            "total_modeled_ms": self.total_modeled_ms,
+            "total_tuples_scanned": float(self.total_tuples_scanned),
+            "total_blocks_scanned": float(self.total_blocks_scanned),
+        }
+
+
+def speedup_cdf(
+    baseline: WorkloadReport, improved: WorkloadReport
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-query speedup CDF (paper Fig. 7c).
+
+    Returns ``(sorted speedups, cumulative fraction)`` where speedup is
+    ``baseline_ms / improved_ms`` per query.
+    """
+    base = baseline.per_query_modeled_ms()
+    mine = improved.per_query_modeled_ms()
+    if len(base) != len(mine):
+        raise ValueError("reports cover different query counts")
+    with np.errstate(divide="ignore"):
+        speedups = np.where(mine > 0, base / np.maximum(mine, 1e-12), np.inf)
+    xs = np.sort(speedups)
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ys

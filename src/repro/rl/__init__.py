@@ -1,0 +1,33 @@
+"""Woodblock: deep reinforcement learning for qd-tree construction.
+
+A from-scratch PPO implementation (the paper uses Ray RLlib; this
+substrate is pure numpy) plus the tree-construction MDP, featurizer and
+training loop of paper Sec. 5.
+"""
+
+from .featurize import Featurizer
+from .network import Adam, Linear, PolicyValueNet
+from .ppo import PPOConfig, PPOTrainer, masked_log_softmax, masked_sample
+from .woodblock import (
+    EpisodeResult,
+    LearningCurvePoint,
+    Woodblock,
+    WoodblockConfig,
+    WoodblockResult,
+)
+
+__all__ = [
+    "Adam",
+    "EpisodeResult",
+    "Featurizer",
+    "LearningCurvePoint",
+    "Linear",
+    "PPOConfig",
+    "PPOTrainer",
+    "PolicyValueNet",
+    "Woodblock",
+    "WoodblockConfig",
+    "WoodblockResult",
+    "masked_log_softmax",
+    "masked_sample",
+]

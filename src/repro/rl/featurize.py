@@ -1,0 +1,119 @@
+"""State featurization for the Woodblock agent (paper Sec. 5.2.3).
+
+Each MDP state is a qd-tree node; its feature vector is built from the
+node's semantic description:
+
+* per numeric column: the interval bounds, normalized into ``[0, 1]``
+  by the column's domain (the paper binary-encodes integer bounds; for
+  float-valued domains a normalized continuous encoding carries the
+  same information into the first dense layer);
+* per categorical column: the raw ``|Dom|``-bit categorical mask;
+* per advanced cut: the ``(may_true, may_false)`` possibility bits;
+* per candidate cut: two bits ``(may_true, may_false)`` describing
+  whether the node's sub-space straddles the cut — giving the policy a
+  direct view of which actions still discriminate (the "special
+  treatment of categorical predicates in featurization" the paper
+  alludes to, generalized to all cuts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.cuts import CutRegistry
+from ..core.node import NodeDescription
+from ..storage.schema import Schema
+
+__all__ = ["Featurizer"]
+
+
+class Featurizer:
+    """Maps :class:`NodeDescription` states to fixed-size vectors."""
+
+    def __init__(self, schema: Schema, registry: CutRegistry) -> None:
+        self.schema = schema
+        self.registry = registry
+        self._numeric = [c.name for c in schema.numeric_columns]
+        self._categorical = [
+            (c.name, c.domain_size) for c in schema.categorical_columns
+        ]
+        self._domains: Dict[str, Tuple[float, float]] = {}
+        for col in schema.numeric_columns:
+            if col.domain is not None:
+                self._domains[col.name] = (float(col.domain[0]), float(col.domain[1]))
+        self.num_advanced = registry.num_advanced_cuts
+        self.num_cuts = len(registry)
+        self.dim = (
+            2 * len(self._numeric)
+            + sum(size for _, size in self._categorical)
+            + 2 * self.num_advanced
+            + 2 * self.num_cuts
+        )
+
+    def _normalize(self, column: str, value: float, default: float) -> float:
+        if not math.isfinite(value):
+            return default
+        domain = self._domains.get(column)
+        if domain is None:
+            return default
+        lo, hi = domain
+        if hi <= lo:
+            return default
+        return min(max((value - lo) / (hi - lo), 0.0), 1.0)
+
+    def featurize(
+        self,
+        description: NodeDescription,
+        cut_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The feature vector for one node description.
+
+        ``cut_state`` optionally supplies the per-cut
+        ``(may_true, may_false)`` bits (shape ``(2 * num_cuts,)``).
+        The agent passes data-driven bits derived from its precomputed
+        cut-outcome matrix (does the node hold records on each side of
+        the cut?), which is both faster and sharper than re-deriving
+        them from the description; standalone callers may omit it and
+        pay for the description-based computation.
+        """
+        parts: List[np.ndarray] = []
+        bounds = np.empty(2 * len(self._numeric))
+        for i, name in enumerate(self._numeric):
+            interval = description.hypercube.interval(name)
+            bounds[2 * i] = self._normalize(name, interval.lo, 0.0)
+            bounds[2 * i + 1] = self._normalize(name, interval.hi, 1.0)
+        parts.append(bounds)
+        for name, size in self._categorical:
+            mask = description.categorical_masks.get(name)
+            if mask is None:
+                parts.append(np.ones(size))
+            else:
+                parts.append(mask.astype(np.float64))
+        if self.num_advanced:
+            parts.append(description.adv_true.astype(np.float64))
+            parts.append(description.adv_false.astype(np.float64))
+        if self.num_cuts:
+            if cut_state is not None:
+                if len(cut_state) != 2 * self.num_cuts:
+                    raise ValueError(
+                        f"cut_state must have length {2 * self.num_cuts}"
+                    )
+                parts.append(np.asarray(cut_state, dtype=np.float64))
+            else:
+                straddle = np.empty(2 * self.num_cuts)
+                for ci, cut in enumerate(self.registry.cuts):
+                    straddle[2 * ci] = 1.0 if description._may(cut, True) else 0.0
+                    straddle[2 * ci + 1] = (
+                        1.0 if description._may(cut, False) else 0.0
+                    )
+                parts.append(straddle)
+        vec = np.concatenate(parts)
+        assert len(vec) == self.dim
+        return vec
+
+    def featurize_batch(self, descriptions: List[NodeDescription]) -> np.ndarray:
+        """Stack features for several nodes."""
+        return np.stack([self.featurize(d) for d in descriptions])

@@ -1,0 +1,169 @@
+"""A small neural network library in pure numpy.
+
+Implements exactly what Woodblock needs (paper Sec. 5.2.3): a shared
+trunk of two fully-connected layers with 512 units and ReLU
+activations, a policy head (``|A|``-way linear projection) and a value
+head (scalar projection), trained with Adam.  Forward passes cache
+activations; backward passes accumulate parameter gradients and return
+input gradients, so the PPO loss can drive learning without any
+autograd framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Linear", "Adam", "PolicyValueNet"]
+
+
+class Linear:
+    """A fully-connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self, in_dim: int, out_dim: int, rng: np.random.Generator, scale: float = 1.0
+    ) -> None:
+        # Orthogonal-ish init: scaled Xavier keeps early logits small.
+        limit = scale * np.sqrt(2.0 / (in_dim + out_dim))
+        self.weight = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._input is not None, "forward must run before backward"
+        self.grad_weight += self._input.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def zero_grad(self) -> None:
+        self.grad_weight[...] = 0.0
+        self.grad_bias[...] = 0.0
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs."""
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_out: np.ndarray, pre_activation: np.ndarray) -> np.ndarray:
+    return grad_out * (pre_activation > 0.0)
+
+
+class Adam:
+    """The Adam optimizer over a list of (param, grad) pairs."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tuple[np.ndarray, np.ndarray]],
+        learning_rate: float = 3e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p, _ in self.parameters]
+        self._v = [np.zeros_like(p) for p, _ in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, (param, grad) in enumerate(self.parameters):
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class PolicyValueNet:
+    """Shared-trunk policy/value network (paper Sec. 5.2.3).
+
+    Two 512-unit ReLU layers shared by both heads; the policy head is a
+    linear projection to ``num_actions`` logits, the value head a
+    scalar projection.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_actions: int,
+        hidden_dim: int = 512,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.num_actions = num_actions
+        self.fc1 = Linear(input_dim, hidden_dim, rng)
+        self.fc2 = Linear(hidden_dim, hidden_dim, rng)
+        self.policy_head = Linear(hidden_dim, num_actions, rng, scale=0.1)
+        self.value_head = Linear(hidden_dim, 1, rng, scale=0.1)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+
+    def forward(self, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (logits ``(N, A)``, values ``(N,)``)."""
+        states = np.atleast_2d(states)
+        z1 = self.fc1.forward(states)
+        h1 = relu(z1)
+        z2 = self.fc2.forward(h1)
+        h2 = relu(z2)
+        logits = self.policy_head.forward(h2)
+        values = self.value_head.forward(h2)[:, 0]
+        self._cache = {"z1": z1, "z2": z2}
+        return logits, values
+
+    def backward(self, grad_logits: np.ndarray, grad_values: np.ndarray) -> None:
+        """Backpropagate loss gradients w.r.t. logits and values."""
+        grad_h2 = self.policy_head.backward(grad_logits)
+        grad_h2 += self.value_head.backward(grad_values[:, None])
+        grad_z2 = relu_backward(grad_h2, self._cache["z2"])
+        grad_h1 = self.fc2.backward(grad_z2)
+        grad_z1 = relu_backward(grad_h1, self._cache["z1"])
+        self.fc1.backward(grad_z1)
+
+    def zero_grad(self) -> None:
+        for layer in (self.fc1, self.fc2, self.policy_head, self.value_head):
+            layer.zero_grad()
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        params: List[Tuple[np.ndarray, np.ndarray]] = []
+        for layer in (self.fc1, self.fc2, self.policy_head, self.value_head):
+            params.extend(layer.parameters())
+        return params
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameters (for checkpointing best policies)."""
+        out = {}
+        for i, layer in enumerate(
+            (self.fc1, self.fc2, self.policy_head, self.value_head)
+        ):
+            out[f"w{i}"] = layer.weight.copy()
+            out[f"b{i}"] = layer.bias.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(
+            (self.fc1, self.fc2, self.policy_head, self.value_head)
+        ):
+            layer.weight[...] = state[f"w{i}"]
+            layer.bias[...] = state[f"b{i}"]

@@ -1,0 +1,199 @@
+"""Proximal Policy Optimization with action masking (paper Sec. 5.2).
+
+The paper uses PPO [Schulman et al. 2017] "as a black-box subroutine";
+this module is that subroutine, implemented directly in numpy against
+:class:`~repro.rl.network.PolicyValueNet`:
+
+* clipped surrogate policy objective,
+* squared-error value loss,
+* entropy bonus over the *legal* action set,
+* advantage normalization,
+* minibatched multi-epoch updates with Adam.
+
+Illegal actions (cuts whose children would violate the minimum block
+size, Sec. 5.2.1) are masked to ``-inf`` logits, so sampling,
+log-probabilities and entropy all respect the legality constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .network import Adam, PolicyValueNet
+
+__all__ = ["PPOConfig", "PPOTrainer", "masked_log_softmax", "masked_sample"]
+
+_NEG_INF = -1e9
+
+
+def masked_log_softmax(logits: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax restricted to legal actions.
+
+    Illegal entries come back as a very negative number (never exactly
+    ``-inf`` so downstream arithmetic stays NaN-free).
+    """
+    masked = np.where(masks, logits, _NEG_INF)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    exp = np.exp(shifted) * masks
+    denom = exp.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.maximum(denom, 1e-30))
+    return np.where(masks, log_probs, _NEG_INF)
+
+
+def masked_sample(
+    logits: np.ndarray, mask: np.ndarray, rng: np.random.Generator
+) -> Tuple[int, float]:
+    """Sample one action from a single masked logit row.
+
+    Returns ``(action, log_prob)``.
+    """
+    log_probs = masked_log_softmax(logits[None, :], mask[None, :])[0]
+    probs = np.exp(np.where(mask, log_probs, _NEG_INF))
+    probs = probs / probs.sum()
+    action = int(rng.choice(len(probs), p=probs))
+    return action, float(log_probs[action])
+
+
+@dataclass
+class PPOConfig:
+    """PPO hyperparameters (defaults follow common practice)."""
+
+    learning_rate: float = 3e-4
+    clip_ratio: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    epochs: int = 4
+    minibatch_size: int = 128
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+
+
+class PPOTrainer:
+    """Runs clipped-PPO updates on a policy/value network."""
+
+    def __init__(self, net: PolicyValueNet, config: Optional[PPOConfig] = None) -> None:
+        self.net = net
+        self.config = config or PPOConfig()
+        self.optimizer = Adam(net.parameters(), learning_rate=self.config.learning_rate)
+
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        masks: np.ndarray,
+        old_log_probs: np.ndarray,
+        rewards: np.ndarray,
+        old_values: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Dict[str, float]:
+        """One PPO update over a batch of transitions.
+
+        The tree-structured MDP treats every node as an independent
+        one-step state (Sec. 5.2.4), so the return of a transition is
+        its immediate normalized reward and the advantage is
+        ``reward - V(s)``.
+        """
+        states = np.atleast_2d(states)
+        n = len(states)
+        advantages = rewards - old_values
+        if self.config.normalize_advantages and n > 1:
+            std = advantages.std()
+            advantages = (advantages - advantages.mean()) / (std + 1e-8)
+        stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0, "updates": 0.0}
+        batch = max(1, min(self.config.minibatch_size, n))
+        for _ in range(self.config.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                step_stats = self._minibatch_step(
+                    states[idx],
+                    actions[idx],
+                    masks[idx],
+                    old_log_probs[idx],
+                    advantages[idx],
+                    rewards[idx],
+                )
+                for key in ("policy_loss", "value_loss", "entropy"):
+                    stats[key] += step_stats[key]
+                stats["updates"] += 1.0
+        if stats["updates"]:
+            for key in ("policy_loss", "value_loss", "entropy"):
+                stats[key] /= stats["updates"]
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _minibatch_step(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        masks: np.ndarray,
+        old_log_probs: np.ndarray,
+        advantages: np.ndarray,
+        returns: np.ndarray,
+    ) -> Dict[str, float]:
+        cfg = self.config
+        n = len(states)
+        logits, values = self.net.forward(states)
+        log_probs = masked_log_softmax(logits, masks)
+        probs = np.where(masks, np.exp(log_probs), 0.0)
+        taken_log_probs = log_probs[np.arange(n), actions]
+        ratios = np.exp(np.clip(taken_log_probs - old_log_probs, -20.0, 20.0))
+
+        unclipped = ratios * advantages
+        clipped = np.clip(ratios, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio) * (
+            advantages
+        )
+        policy_loss = -np.minimum(unclipped, clipped).mean()
+
+        value_errors = values - returns
+        value_loss = (value_errors**2).mean()
+
+        safe_log = np.where(masks, log_probs, 0.0)
+        entropies = -(probs * safe_log).sum(axis=1)
+        entropy = entropies.mean()
+
+        # ---- gradients ------------------------------------------------
+        # Policy gradient flows only where the unclipped term is active.
+        active = np.where(
+            advantages >= 0.0,
+            ratios <= 1.0 + cfg.clip_ratio,
+            ratios >= 1.0 - cfg.clip_ratio,
+        )
+        dlogp_taken = -(advantages * ratios * active) / n
+        onehot = np.zeros_like(log_probs)
+        onehot[np.arange(n), actions] = 1.0
+        grad_logits = dlogp_taken[:, None] * (onehot - probs)
+
+        # Entropy bonus: d(-c*H)/dlogits = c * p * (log p + H).
+        ent_grad = probs * (safe_log + entropies[:, None])
+        grad_logits += (cfg.entropy_coef / n) * ent_grad
+
+        grad_values = cfg.value_coef * 2.0 * value_errors / n
+
+        self.net.zero_grad()
+        self.net.backward(grad_logits, grad_values)
+        self._clip_gradients()
+        self.optimizer.step()
+        return {
+            "policy_loss": float(policy_loss),
+            "value_loss": float(value_loss),
+            "entropy": float(entropy),
+        }
+
+    def _clip_gradients(self) -> None:
+        total = 0.0
+        grads = [g for _, g in self.net.parameters()]
+        for g in grads:
+            total += float((g**2).sum())
+        norm = np.sqrt(total)
+        limit = self.config.max_grad_norm
+        if limit and norm > limit:
+            scale = limit / (norm + 1e-8)
+            for g in grads:
+                g *= scale

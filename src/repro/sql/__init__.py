@@ -1,0 +1,17 @@
+"""A small SQL front end for candidate-cut extraction (paper Sec. 3.4)."""
+
+from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+from .parser import PredicateParser, like_to_regex, parse_predicate
+from .planner import PlannedQuery, SqlPlanner
+
+__all__ = [
+    "PlannedQuery",
+    "PredicateParser",
+    "SqlPlanner",
+    "SqlSyntaxError",
+    "Token",
+    "TokenType",
+    "like_to_regex",
+    "parse_predicate",
+    "tokenize",
+]

@@ -1,0 +1,146 @@
+"""Tokenizer for the SQL subset used by the predicate planner.
+
+Supports what WHERE clauses in the paper's workloads need: identifiers
+(optionally ``table.column`` qualified), numeric and single-quoted
+string literals, comparison operators, parentheses, commas, and the
+keywords ``SELECT FROM WHERE AND OR NOT IN BETWEEN LIKE``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TokenType", "Token", "tokenize", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input."""
+
+
+class TokenType(enum.Enum):
+    """Lexeme categories produced by :func:`tokenize`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    STAR = "*"
+    KEYWORD = "keyword"
+    END = "end"
+
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "BETWEEN",
+    "LIKE",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "<", ">", "=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise SqlSyntaxError(f"unterminated string starting at {i}")
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(Token(TokenType.OPERATOR, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE+-"):
+                # Stop '+-' unless in exponent position.
+                if text[j] in "+-" and text[j - 1] not in "eE":
+                    break
+                j += 1
+            literal = text[i:j]
+            try:
+                float(literal)
+            except ValueError:
+                raise SqlSyntaxError(f"bad number {literal!r} at {i}") from None
+            tokens.append(Token(TokenType.NUMBER, literal, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "._"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in _KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

@@ -1,0 +1,124 @@
+"""The "standard SQL planner" of paper Sec. 3.4.
+
+Given workload queries as SQL text, the planner parses each statement,
+pushes the WHERE clause down into a bound predicate tree, and exposes
+the set of unary predicates (plus advanced cuts) as candidate cuts.
+
+Only the subset needed by the paper is implemented::
+
+    SELECT <cols|*> FROM <table> WHERE <predicate>
+
+The planner is stateful across queries so that identical binary
+comparisons share one advanced-cut slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cuts import CutRegistry, extract_candidate_cuts
+from ..core.predicates import AdvancedCut, Predicate
+from ..core.workload import Query, Workload
+from ..storage.schema import Schema
+from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+from .parser import PredicateParser
+
+__all__ = ["PlannedQuery", "SqlPlanner"]
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """Result of planning one statement."""
+
+    query: Query
+    table_name: str
+    projection: Tuple[str, ...]
+
+
+class SqlPlanner:
+    """Plans SQL statements into :class:`~repro.core.workload.Query`
+    objects and collects candidate cuts across a workload."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.advanced_registry: Dict[str, AdvancedCut] = {}
+        self._parser = PredicateParser(schema, self.advanced_registry)
+
+    # ------------------------------------------------------------------
+
+    def plan(self, sql: str, name: str = "", template: str = "") -> PlannedQuery:
+        """Plan one ``SELECT ... FROM ... WHERE ...`` statement."""
+        tokens = tokenize(sql)
+        pos = 0
+
+        def expect_keyword(word: str) -> None:
+            nonlocal pos
+            token = tokens[pos]
+            if token.type is not TokenType.KEYWORD or token.value != word:
+                raise SqlSyntaxError(
+                    f"expected {word} at {token.position}, got {token.value!r}"
+                )
+            pos += 1
+
+        expect_keyword("SELECT")
+        projection: List[str] = []
+        star = False
+        while True:
+            token = tokens[pos]
+            if token.type is TokenType.STAR:
+                star = True
+                pos += 1
+            elif token.type is TokenType.IDENT:
+                column = token.value.split(".")[-1]
+                if column not in self.schema:
+                    raise SqlSyntaxError(
+                        f"unknown projected column {column!r} at {token.position}"
+                    )
+                projection.append(column)
+                pos += 1
+            else:
+                raise SqlSyntaxError(f"bad projection at {token.position}")
+            if tokens[pos].type is TokenType.COMMA:
+                pos += 1
+                continue
+            break
+        expect_keyword("FROM")
+        table_token = tokens[pos]
+        if table_token.type is not TokenType.IDENT:
+            raise SqlSyntaxError(f"expected table name at {table_token.position}")
+        pos += 1
+        expect_keyword("WHERE")
+        # Hand the remainder of the original text to the predicate
+        # parser (token positions index into the original string).
+        where_text = sql[tokens[pos].position :]
+        predicate = self._parser.parse(where_text)
+        columns: Tuple[str, ...]
+        if star:
+            columns = self.schema.column_names
+        else:
+            columns = tuple(projection)
+        query = Query(
+            predicate=predicate,
+            name=name or sql.strip(),
+            template=template,
+            columns=columns,
+        )
+        return PlannedQuery(
+            query=query, table_name=table_token.value, projection=columns
+        )
+
+    def plan_workload(
+        self, statements: Sequence[str], template_names: Optional[Sequence[str]] = None
+    ) -> Workload:
+        """Plan many statements into a workload."""
+        queries = []
+        for i, sql in enumerate(statements):
+            template = template_names[i] if template_names else ""
+            queries.append(self.plan(sql, name=f"q{i}", template=template).query)
+        return Workload(queries)
+
+    def candidate_cuts(self, workload: Workload) -> CutRegistry:
+        """The Sec. 3.4 cut set: all pushed-down unary predicates plus
+        the advanced cuts discovered while planning."""
+        return CutRegistry.from_workload(self.schema, workload)

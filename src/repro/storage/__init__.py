@@ -1,0 +1,49 @@
+"""Block-based columnar storage substrate.
+
+Provides the storage layer the paper's experiments run on: dictionary-
+encoded tables, encoded column chunks, physical blocks with min-max
+(SMA) indexes, and npz/JSON persistence.
+"""
+
+from .blocks import Block, BlockStore
+from .catalog import load_store, load_table, save_store, save_table
+from .columnar import (
+    EncodedChunk,
+    Encoding,
+    decode_chunk,
+    encode_column,
+)
+from .minmax import ColumnStats, MinMaxIndex
+from .schema import (
+    Column,
+    ColumnKind,
+    Dictionary,
+    Schema,
+    SchemaError,
+    categorical,
+    numeric,
+)
+from .table import Table
+
+__all__ = [
+    "Block",
+    "BlockStore",
+    "Column",
+    "ColumnKind",
+    "ColumnStats",
+    "Dictionary",
+    "EncodedChunk",
+    "Encoding",
+    "MinMaxIndex",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "categorical",
+    "decode_chunk",
+    "encode_column",
+    "load_store",
+    "load_table",
+    "numeric",
+    "save_store",
+    "save_table",
+]

@@ -1,0 +1,221 @@
+"""Physical data blocks and the block store.
+
+A :class:`Block` is the unit of I/O in a scan-oriented system: a
+horizontal slice of the table with a block ID (BID), an encoded columnar
+payload, and a :class:`~repro.storage.minmax.MinMaxIndex`.  A
+:class:`BlockStore` is an ordered collection of blocks produced by some
+partitioner (a qd-tree, a baseline, ...), the object the execution
+engine scans.
+
+The paper's physical experiments convert each qd-tree leaf into one
+Parquet file; here each leaf becomes one :class:`Block` (optionally
+persisted to disk as ``.npz`` via :mod:`repro.storage.catalog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .columnar import EncodedChunk, decode_chunk, encode_column
+from .minmax import MinMaxIndex
+from .schema import Schema, SchemaError
+from .table import Table
+
+__all__ = ["Block", "BlockStore"]
+
+
+class Block:
+    """One physical block: encoded columns + SMA index + metadata.
+
+    Parameters
+    ----------
+    block_id:
+        Dense integer BID assigned by the partitioner.
+    table:
+        The rows assigned to this block.
+    description:
+        Optional human/machine-readable semantic description (a
+        predicate string for qd-tree leaves; ``None`` for baselines,
+        whose blocks are *not* complete).
+    with_dictionaries:
+        Whether the min-max index keeps categorical distinct-value bit
+        sets (block dictionaries).
+    """
+
+    def __init__(
+        self,
+        block_id: int,
+        table: Table,
+        description: Optional[str] = None,
+        with_dictionaries: bool = True,
+    ) -> None:
+        self.block_id = block_id
+        self.schema = table.schema
+        self.num_rows = table.num_rows
+        self.description = description
+        self._chunks: Dict[str, EncodedChunk] = {
+            name: encode_column(arr) for name, arr in table.columns().items()
+        }
+        self.minmax = MinMaxIndex.build(table, with_dictionaries=with_dictionaries)
+
+    # ------------------------------------------------------------------
+
+    def read_column(self, name: str) -> np.ndarray:
+        """Decode and return one column (a columnar engine reads only
+        the columns a query references)."""
+        try:
+            chunk = self._chunks[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+        return decode_chunk(chunk)
+
+    def read_columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Decode several columns at once."""
+        return {name: self.read_column(name) for name in names}
+
+    def to_table(self) -> Table:
+        """Decode the full block back into a :class:`Table`."""
+        cols = {name: self.read_column(name) for name in self.schema.column_names}
+        return Table(self.schema, cols)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def encoded_nbytes(self) -> int:
+        """Bytes the encoded block occupies on storage."""
+        return sum(chunk.nbytes for chunk in self._chunks.values())
+
+    def column_nbytes(self, names: Sequence[str]) -> int:
+        """Encoded bytes of just the named columns (columnar reads)."""
+        return sum(self._chunks[name].nbytes for name in names)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Block(id={self.block_id}, rows={self.num_rows})"
+
+
+class BlockStore:
+    """An ordered set of blocks making up one physical layout.
+
+    Iteration order is BID order.  The store also remembers the total
+    logical row count, which may be *less* than the sum of block sizes
+    when the layout replicates rows (Sec. 6.2 data overlap).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        blocks: Iterable[Block],
+        logical_rows: Optional[int] = None,
+    ) -> None:
+        self.schema = schema
+        self._blocks: List[Block] = sorted(blocks, key=lambda b: b.block_id)
+        seen = [b.block_id for b in self._blocks]
+        if len(set(seen)) != len(seen):
+            raise ValueError(f"duplicate block ids: {seen}")
+        stored = sum(b.num_rows for b in self._blocks)
+        self.logical_rows = logical_rows if logical_rows is not None else stored
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_assignment(
+        cls,
+        table: Table,
+        block_ids: np.ndarray,
+        descriptions: Optional[Mapping[int, str]] = None,
+        with_dictionaries: bool = True,
+    ) -> "BlockStore":
+        """Build a store from a per-row BID assignment.
+
+        This is the "partition the dataset by the BID field" step of
+        Sec. 3.1.  ``block_ids`` may contain any non-negative ints; BIDs
+        are used as given (no re-densification) so they can match
+        qd-tree leaf ids.
+        """
+        block_ids = np.asarray(block_ids)
+        if len(block_ids) != table.num_rows:
+            raise ValueError(
+                f"assignment length {len(block_ids)} != rows {table.num_rows}"
+            )
+        if len(block_ids) and block_ids.min() < 0:
+            raise ValueError("negative block id in assignment")
+        blocks = []
+        for bid in np.unique(block_ids):
+            rows = table.filter(block_ids == bid)
+            desc = descriptions.get(int(bid)) if descriptions else None
+            blocks.append(
+                Block(
+                    int(bid),
+                    rows,
+                    description=desc,
+                    with_dictionaries=with_dictionaries,
+                )
+            )
+        return cls(table.schema, blocks, logical_rows=table.num_rows)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def stored_rows(self) -> int:
+        """Physically stored rows (>= logical_rows with overlap)."""
+        return sum(b.num_rows for b in self._blocks)
+
+    @property
+    def block_ids(self) -> Tuple[int, ...]:
+        return tuple(b.block_id for b in self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, block_id: int) -> Block:
+        """Fetch a block by BID."""
+        for b in self._blocks:
+            if b.block_id == block_id:
+                return b
+        raise KeyError(f"no block with id {block_id}")
+
+    def blocks(self, block_ids: Optional[Iterable[int]] = None) -> List[Block]:
+        """Blocks with the given BIDs (all blocks when ``None``)."""
+        if block_ids is None:
+            return list(self._blocks)
+        wanted = set(block_ids)
+        return [b for b in self._blocks if b.block_id in wanted]
+
+    def min_block_size(self) -> int:
+        """Smallest block's row count (to verify the ``b`` constraint)."""
+        if not self._blocks:
+            return 0
+        return min(b.num_rows for b in self._blocks)
+
+    def encoded_nbytes(self) -> int:
+        """Total encoded bytes across blocks."""
+        return sum(b.encoded_nbytes for b in self._blocks)
+
+    def storage_overhead(self) -> float:
+        """stored_rows / logical_rows — 1.0 means no replication."""
+        if self.logical_rows == 0:
+            return 1.0
+        return self.stored_rows / self.logical_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockStore(blocks={self.num_blocks}, "
+            f"rows={self.stored_rows})"
+        )

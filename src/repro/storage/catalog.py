@@ -1,0 +1,128 @@
+"""On-disk persistence for block stores.
+
+Each block is written as one ``.npz`` file (block-<bid>.npz) plus a
+JSON catalog describing the schema, dictionaries, block descriptions and
+row counts — the moral equivalent of a directory of Parquet files plus
+a metastore entry.  Loading reconstructs a fully functional
+:class:`~repro.storage.blocks.BlockStore` (re-encoding chunks and
+rebuilding min-max indexes from the raw data).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .blocks import Block, BlockStore
+from .schema import Column, ColumnKind, Dictionary, Schema
+from .table import Table
+
+__all__ = ["save_store", "load_store", "save_table", "load_table"]
+
+_CATALOG_NAME = "catalog.json"
+_TABLE_NAME = "table.npz"
+
+
+def _schema_to_json(schema: Schema) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    for col in schema:
+        entry: Dict[str, object] = {"name": col.name, "kind": col.kind.value}
+        if col.domain is not None:
+            entry["domain"] = list(col.domain)
+        if col.is_categorical:
+            assert col.dictionary is not None
+            entry["dictionary"] = [repr(v) for v in col.dictionary.values()]
+            entry["dictionary_raw"] = [
+                v if isinstance(v, (str, int, float, bool)) else repr(v)
+                for v in col.dictionary.values()
+            ]
+        out.append(entry)
+    return out
+
+
+def _schema_from_json(data: List[Dict[str, object]]) -> Schema:
+    columns = []
+    for entry in data:
+        kind = ColumnKind(entry["kind"])
+        domain = tuple(entry["domain"]) if "domain" in entry else None  # type: ignore[arg-type]
+        dictionary = None
+        if kind is ColumnKind.CATEGORICAL:
+            dictionary = Dictionary(entry.get("dictionary_raw", []))
+        columns.append(
+            Column(str(entry["name"]), kind, domain=domain, dictionary=dictionary)
+        )
+    return Schema(columns)
+
+
+def save_table(table: Table, path: Union[str, Path]) -> None:
+    """Persist a single table (schema + one npz of all columns)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / _CATALOG_NAME, "w") as f:
+        json.dump({"schema": _schema_to_json(table.schema)}, f, indent=2)
+    np.savez_compressed(path / _TABLE_NAME, **table.columns())
+
+
+def load_table(path: Union[str, Path]) -> Table:
+    """Inverse of :func:`save_table`."""
+    path = Path(path)
+    with open(path / _CATALOG_NAME) as f:
+        meta = json.load(f)
+    schema = _schema_from_json(meta["schema"])
+    with np.load(path / _TABLE_NAME) as data:
+        cols = {name: data[name] for name in schema.column_names}
+    return Table(schema, cols)
+
+
+def save_store(store: BlockStore, path: Union[str, Path]) -> None:
+    """Persist a block store as one npz per block + a JSON catalog."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    blocks_meta = []
+    for block in store:
+        fname = f"block-{block.block_id}.npz"
+        table = block.to_table()
+        np.savez_compressed(path / fname, **table.columns())
+        blocks_meta.append(
+            {
+                "block_id": block.block_id,
+                "file": fname,
+                "num_rows": block.num_rows,
+                "description": block.description,
+            }
+        )
+    catalog = {
+        "schema": _schema_to_json(store.schema),
+        "logical_rows": store.logical_rows,
+        "blocks": blocks_meta,
+    }
+    with open(path / _CATALOG_NAME, "w") as f:
+        json.dump(catalog, f, indent=2)
+
+
+def load_store(
+    path: Union[str, Path], with_dictionaries: bool = True
+) -> BlockStore:
+    """Inverse of :func:`save_store`."""
+    path = Path(path)
+    with open(path / _CATALOG_NAME) as f:
+        catalog = json.load(f)
+    schema = _schema_from_json(catalog["schema"])
+    blocks = []
+    for meta in catalog["blocks"]:
+        with np.load(path / str(meta["file"])) as data:
+            cols = {name: data[name] for name in schema.column_names}
+        table = Table(schema, cols)
+        blocks.append(
+            Block(
+                int(meta["block_id"]),
+                table,
+                description=meta.get("description"),
+                with_dictionaries=with_dictionaries,
+            )
+        )
+    return BlockStore(schema, blocks, logical_rows=int(catalog["logical_rows"]))

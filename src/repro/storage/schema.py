@@ -1,0 +1,245 @@
+"""Relational schema with dictionary encoding for categorical columns.
+
+The qd-tree paper (Sec. 3) assumes every attribute's domain is a dense
+integer range ``[0, |Dom_i|)``: numeric columns are used as-is (or
+dictionary-encoded if sparse) and categorical columns are
+dictionary-encoded so that equality / ``IN`` cuts operate on small ints.
+This module owns those dictionaries.
+
+A :class:`Schema` is an ordered collection of :class:`Column` objects.
+Columns are either *numeric* (ordered domain, range predicates allowed)
+or *categorical* (unordered dictionary-encoded domain, equality / ``IN``
+predicates allowed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ColumnKind", "Column", "Schema", "Dictionary", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schema definitions or unknown columns."""
+
+
+class ColumnKind(enum.Enum):
+    """The two attribute classes the qd-tree distinguishes.
+
+    ``NUMERIC`` columns have an ordered domain and admit range cuts
+    (``<, <=, >, >=``).  ``CATEGORICAL`` columns are dictionary-encoded
+    and admit equality cuts (``=, IN``), tracked via per-node bit masks
+    (paper Table 1).
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+class Dictionary:
+    """A bidirectional value <-> code mapping for one categorical column.
+
+    Codes are assigned densely in insertion order, so a column with
+    ``n`` distinct values uses codes ``0..n-1`` — exactly the
+    ``[0, |Dom_i|)`` domain the paper assumes.
+    """
+
+    def __init__(self, values: Optional[Iterable[object]] = None) -> None:
+        self._value_to_code: Dict[object, int] = {}
+        self._code_to_value: List[object] = []
+        if values is not None:
+            for value in values:
+                self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._code_to_value)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._value_to_code
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._code_to_value)
+
+    def add(self, value: object) -> int:
+        """Intern ``value``, returning its (possibly new) code."""
+        code = self._value_to_code.get(value)
+        if code is None:
+            code = len(self._code_to_value)
+            self._value_to_code[value] = code
+            self._code_to_value.append(value)
+        return code
+
+    def encode(self, value: object) -> int:
+        """Return the code for ``value``; raises ``KeyError`` if unseen."""
+        return self._value_to_code[value]
+
+    def decode(self, code: int) -> object:
+        """Return the original value for ``code``."""
+        return self._code_to_value[code]
+
+    def encode_many(self, values: Iterable[object]) -> np.ndarray:
+        """Vectorized :meth:`encode` over an iterable of values."""
+        return np.fromiter(
+            (self._value_to_code[v] for v in values), dtype=np.int64
+        )
+
+    def values(self) -> Tuple[object, ...]:
+        """All interned values, ordered by code."""
+        return tuple(self._code_to_value)
+
+
+@dataclass
+class Column:
+    """One attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be unique within a schema.
+    kind:
+        ``ColumnKind.NUMERIC`` or ``ColumnKind.CATEGORICAL``.
+    domain:
+        For numeric columns the half-open value range ``(lo, hi)`` that
+        bounds all values; used to initialize the root hypercube.  For
+        categorical columns the domain is implied by the dictionary.
+    dictionary:
+        Dictionary for categorical columns; created lazily when omitted.
+    """
+
+    name: str
+    kind: ColumnKind
+    domain: Optional[Tuple[float, float]] = None
+    dictionary: Optional[Dictionary] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.kind is ColumnKind.CATEGORICAL and self.dictionary is None:
+            self.dictionary = Dictionary()
+        if self.kind is ColumnKind.NUMERIC and self.domain is not None:
+            lo, hi = self.domain
+            if lo > hi:
+                raise SchemaError(
+                    f"column {self.name!r}: domain lo {lo} > hi {hi}"
+                )
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is ColumnKind.CATEGORICAL
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is ColumnKind.NUMERIC
+
+    @property
+    def domain_size(self) -> int:
+        """``|Dom|`` for categorical columns."""
+        if not self.is_categorical:
+            raise SchemaError(
+                f"column {self.name!r} is numeric; use .domain instead"
+            )
+        assert self.dictionary is not None
+        return len(self.dictionary)
+
+    def encode(self, value: object) -> float:
+        """Map a raw value into the encoded domain."""
+        if self.is_categorical:
+            assert self.dictionary is not None
+            return self.dictionary.encode(value)
+        return float(value)  # type: ignore[arg-type]
+
+    def decode(self, code: float) -> object:
+        """Inverse of :meth:`encode` (identity for numeric columns)."""
+        if self.is_categorical:
+            assert self.dictionary is not None
+            return self.dictionary.decode(int(code))
+        return code
+
+
+def numeric(name: str, domain: Optional[Tuple[float, float]] = None) -> Column:
+    """Shorthand constructor for a numeric column."""
+    return Column(name, ColumnKind.NUMERIC, domain=domain)
+
+
+def categorical(name: str, values: Optional[Iterable[object]] = None) -> Column:
+    """Shorthand constructor for a categorical column."""
+    return Column(
+        name, ColumnKind.CATEGORICAL, dictionary=Dictionary(values)
+    )
+
+
+class Schema:
+    """Ordered, name-addressable collection of columns.
+
+    The schema is the single source of truth for dictionary encodings;
+    qd-tree nodes, candidate cuts, and the storage layer all consult it.
+    """
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {c.name: c for c in columns}
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.column_names == other.column_names
+
+    def __repr__(self) -> str:
+        return f"Schema({[c.name for c in self._columns]})"
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def numeric_columns(self) -> Tuple[Column, ...]:
+        return tuple(c for c in self._columns if c.is_numeric)
+
+    @property
+    def categorical_columns(self) -> Tuple[Column, ...]:
+        return tuple(c for c in self._columns if c.is_categorical)
+
+    def position(self, name: str) -> int:
+        """Ordinal position of column ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def encode_literal(self, column: str, value: object) -> float:
+        """Encode one literal for predicates over ``column``."""
+        return self[column].encode(value)
+
+    def encode_literals(
+        self, column: str, values: Iterable[object]
+    ) -> Tuple[float, ...]:
+        """Encode a literal list (for ``IN`` predicates)."""
+        col = self[column]
+        return tuple(col.encode(v) for v in values)

@@ -1,0 +1,20 @@
+"""Benchmark workload generators (paper Sec. 7.2)."""
+
+from . import errorlog, microbench, query_gen, tpch
+from .base import Dataset
+from .errorlog import errorlog_ext_dataset, errorlog_int_dataset
+from .microbench import disjunctive_dataset, overlap_dataset
+from .tpch import tpch_dataset
+
+__all__ = [
+    "Dataset",
+    "disjunctive_dataset",
+    "errorlog",
+    "errorlog_ext_dataset",
+    "errorlog_int_dataset",
+    "microbench",
+    "query_gen",
+    "overlap_dataset",
+    "tpch",
+    "tpch_dataset",
+]

@@ -1,0 +1,45 @@
+"""Shared container for (dataset, workload) benchmark pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.cuts import CutRegistry
+from ..core.workload import Workload
+from ..storage.schema import Schema
+from ..storage.table import Table
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A generated table plus the workload that targets it.
+
+    ``min_block_size`` is the paper's ``b`` scaled to the generated
+    row count (the paper uses 100K for TPC-H at 77M rows and 50K for
+    ErrorLog at ~100M rows; generators scale proportionally).
+    """
+
+    name: str
+    schema: Schema
+    table: Table
+    workload: Workload
+    min_block_size: int
+    #: Optional held-out workload for robustness experiments.
+    test_workload: Optional[Workload] = None
+
+    def registry(self) -> CutRegistry:
+        """Candidate cuts extracted from the (train) workload."""
+        return CutRegistry.from_workload(self.schema, self.workload)
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, rows={self.table.num_rows}, "
+            f"queries={len(self.workload)})"
+        )

@@ -1,0 +1,138 @@
+"""Generic workload generation over arbitrary schemas.
+
+Utilities for building synthetic workloads when you are not using one
+of the paper's benchmark generators: random range / point / IN / hybrid
+queries, data-anchored needle queries (guaranteed non-empty), and a
+small template mechanism for "same structure, fresh literals" workloads
+(the pattern behind the paper's TPC-H templates and the Sec. 7.4.1
+robustness experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.predicates import (
+    Predicate,
+    column_ge,
+    column_in,
+    column_le,
+    conjunction,
+)
+from ..core.workload import Query, Workload
+from ..storage.schema import Schema
+from ..storage.table import Table
+
+__all__ = [
+    "random_range_query",
+    "random_in_query",
+    "anchored_query",
+    "QueryTemplate",
+    "generate_workload",
+]
+
+
+def random_range_query(
+    schema: Schema,
+    column: str,
+    rng: np.random.Generator,
+    selectivity: float = 0.1,
+    name: str = "",
+) -> Query:
+    """A range predicate over a numeric column covering roughly
+    ``selectivity`` of its domain."""
+    col = schema[column]
+    if not col.is_numeric or col.domain is None:
+        raise ValueError(f"{column!r} must be numeric with a domain")
+    lo, hi = col.domain
+    width = (hi - lo) * min(max(selectivity, 0.0), 1.0)
+    start = rng.uniform(lo, max(hi - width, lo))
+    pred = conjunction(
+        [column_ge(column, start), column_le(column, start + width)]
+    )
+    return Query(pred, name=name or f"range-{column}", template=f"range-{column}")
+
+
+def random_in_query(
+    schema: Schema,
+    column: str,
+    rng: np.random.Generator,
+    num_values: int = 2,
+    name: str = "",
+) -> Query:
+    """An ``IN`` predicate over a categorical column."""
+    col = schema[column]
+    if not col.is_categorical:
+        raise ValueError(f"{column!r} must be categorical")
+    dom = col.domain_size
+    k = min(max(num_values, 1), dom)
+    codes = rng.choice(dom, size=k, replace=False)
+    pred = column_in(column, sorted(int(c) for c in codes))
+    return Query(pred, name=name or f"in-{column}", template=f"in-{column}")
+
+
+def anchored_query(
+    table: Table,
+    columns: Sequence[str],
+    rng: np.random.Generator,
+    numeric_half_width: float = 0.02,
+    name: str = "",
+) -> Query:
+    """A needle query anchored at a random row (always non-empty).
+
+    Numeric columns get a +-``numeric_half_width``-of-domain range
+    around the row's value; categorical columns get an equality.
+    """
+    if table.num_rows == 0:
+        raise ValueError("cannot anchor a query in an empty table")
+    row = int(rng.integers(0, table.num_rows))
+    parts: List[Predicate] = []
+    for column in columns:
+        col = table.schema[column]
+        value = float(table.column(column)[row])
+        if col.is_categorical:
+            parts.append(column_in(column, [int(value)]))
+        else:
+            if col.domain is not None:
+                span = (col.domain[1] - col.domain[0]) * numeric_half_width
+            else:
+                span = max(abs(value) * numeric_half_width, 1e-9)
+            parts.append(column_ge(column, value - span))
+            parts.append(column_le(column, value + span))
+    return Query(
+        conjunction(parts), name=name or f"needle@{row}", template="needle"
+    )
+
+
+@dataclass
+class QueryTemplate:
+    """A named query generator: same structure, fresh literals."""
+
+    name: str
+    make: Callable[[np.random.Generator], Query]
+
+    def instantiate(self, rng: np.random.Generator, instance: int) -> Query:
+        query = self.make(rng)
+        return Query(
+            predicate=query.predicate,
+            name=f"{self.name}#{instance}",
+            template=self.name,
+            columns=query.columns,
+        )
+
+
+def generate_workload(
+    templates: Sequence[QueryTemplate],
+    instances_per_template: int,
+    seed: int = 0,
+) -> Workload:
+    """Instantiate every template ``instances_per_template`` times."""
+    rng = np.random.default_rng(seed)
+    queries: List[Query] = []
+    for template in templates:
+        for i in range(instances_per_template):
+            queries.append(template.instantiate(rng, i))
+    return Workload(queries)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.bench.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.bench import bar_chart, cdf_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_extremes(self):
+        out = line_chart([0, 1, 2], [10.0, 5.0, 1.0], title="t")
+        assert "t" in out
+        assert "10" in out and "1" in out
+        assert "*" in out
+
+    def test_empty(self):
+        assert "empty" in line_chart([], [])
+
+    def test_constant_series(self):
+        out = line_chart([0, 1, 2], [3.0, 3.0, 3.0])
+        assert "*" in out
+
+    def test_width_respected(self):
+        out = line_chart(list(range(100)), list(range(100)), width=30)
+        body = [l for l in out.splitlines() if "│" in l or "┤" in l]
+        assert all(len(l) <= 31 + 31 for l in body)
+
+
+class TestBarChart:
+    def test_peak_has_longest_bar(self):
+        out = bar_chart({"small": 1.0, "big": 10.0})
+        lines = {l.split("│")[0].strip(): l for l in out.splitlines()}
+        assert lines["big"].count("█") > lines["small"].count("█")
+
+    def test_zero_value(self):
+        out = bar_chart({"zero": 0.0, "one": 1.0})
+        assert "zero" in out
+
+    def test_empty(self):
+        assert "empty" in bar_chart({})
+
+    def test_unit_suffix(self):
+        out = bar_chart({"a": 2.0}, unit="ms")
+        assert "2ms" in out
+
+
+class TestCdfChart:
+    def test_step_chart(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        ys = np.array([0.33, 0.66, 1.0])
+        out = cdf_chart(xs, ys)
+        assert "▒" in out
+        assert "1.00" in out and "0.00" in out
+
+    def test_log_scale_label(self):
+        xs = np.array([1.0, 10.0, 1000.0])
+        ys = np.array([0.3, 0.6, 1.0])
+        out = cdf_chart(xs, ys, log_x=True)
+        assert "log x" in out
+
+    def test_infinite_values_dropped(self):
+        xs = np.array([1.0, np.inf, 3.0])
+        ys = np.array([0.3, 0.6, 1.0])
+        out = cdf_chart(xs, ys)
+        assert "▒" in out
+
+    def test_empty(self):
+        assert "empty" in cdf_chart(np.array([]), np.array([]))

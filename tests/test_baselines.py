@@ -1,0 +1,170 @@
+"""Unit tests for repro.baselines (random, range, kd-tree, subsumption)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KdTreePartitioner,
+    RandomPartitioner,
+    RangePartitioner,
+    implies,
+    unary_implies,
+)
+from repro.core import (
+    And,
+    Or,
+    column_eq,
+    column_ge,
+    column_gt,
+    column_in,
+    column_le,
+    column_lt,
+    conjunction,
+    disjunction,
+)
+
+
+class TestRandomPartitioner:
+    def test_block_sizes(self, mixed_table):
+        bids = RandomPartitioner(block_size=300, seed=0).partition(mixed_table)
+        _, counts = np.unique(bids, return_counts=True)
+        assert counts.max() <= 300
+        assert counts.min() >= mixed_table.num_rows % 300 or counts.min() == 300
+
+    def test_deterministic_by_seed(self, mixed_table):
+        a = RandomPartitioner(block_size=100, seed=5).partition(mixed_table)
+        b = RandomPartitioner(block_size=100, seed=5).partition(mixed_table)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, mixed_table):
+        a = RandomPartitioner(block_size=100, seed=1).partition(mixed_table)
+        b = RandomPartitioner(block_size=100, seed=2).partition(mixed_table)
+        assert (a != b).any()
+
+    def test_invalid_block_size(self, mixed_table):
+        with pytest.raises(ValueError):
+            RandomPartitioner(block_size=0).partition(mixed_table)
+
+
+class TestRangePartitioner:
+    def test_blocks_are_sorted_runs(self, mixed_table):
+        bids = RangePartitioner(column="age", block_size=250).partition(
+            mixed_table
+        )
+        ages = mixed_table.column("age")
+        # Max of block i <= min of block i+1.
+        num_blocks = bids.max() + 1
+        maxes = [ages[bids == i].max() for i in range(num_blocks)]
+        mins = [ages[bids == i].min() for i in range(num_blocks)]
+        for i in range(num_blocks - 1):
+            assert maxes[i] <= mins[i + 1]
+
+    def test_covers_all_rows(self, mixed_table):
+        bids = RangePartitioner(column="salary", block_size=128).partition(
+            mixed_table
+        )
+        assert len(bids) == mixed_table.num_rows
+
+    def test_invalid_block_size(self, mixed_table):
+        with pytest.raises(ValueError):
+            RangePartitioner(column="age", block_size=-1).partition(mixed_table)
+
+
+class TestKdTree:
+    def test_respects_min_block_size(self, mixed_table):
+        part = KdTreePartitioner(columns=["age", "salary"], min_block_size=100)
+        bids = part.partition(mixed_table)
+        _, counts = np.unique(bids, return_counts=True)
+        assert counts.min() >= 100
+
+    def test_produces_multiple_blocks(self, mixed_table):
+        part = KdTreePartitioner(columns=["age", "salary"], min_block_size=100)
+        bids = part.partition(mixed_table)
+        assert bids.max() > 0
+
+    def test_constant_column_terminates(self, mixed_schema):
+        from repro.storage import Table
+
+        table = Table(
+            mixed_schema,
+            {
+                "age": np.full(1000, 50.0),
+                "salary": np.full(1000, 1.0),
+                "city": np.zeros(1000, dtype=np.int64),
+                "level": np.zeros(1000, dtype=np.int64),
+            },
+        )
+        part = KdTreePartitioner(columns=["age", "salary"], min_block_size=10)
+        bids = part.partition(table)
+        assert bids.max() == 0  # single block, no infinite recursion
+
+    def test_no_columns_rejected(self, mixed_table):
+        with pytest.raises(ValueError):
+            KdTreePartitioner(columns=[], min_block_size=10).partition(
+                mixed_table
+            )
+
+
+class TestUnaryImplies:
+    @pytest.mark.parametrize(
+        "p,f,expected",
+        [
+            (column_lt("x", 5), column_lt("x", 10), True),
+            (column_lt("x", 10), column_lt("x", 5), False),
+            (column_le("x", 5), column_lt("x", 6), True),
+            (column_lt("x", 5), column_le("x", 5), True),
+            (column_ge("x", 10), column_gt("x", 5), True),
+            (column_gt("x", 5), column_ge("x", 10), False),
+            (column_eq("x", 5), column_lt("x", 10), True),
+            (column_eq("x", 50), column_lt("x", 10), False),
+            (column_in("x", [1, 2]), column_in("x", [1, 2, 3]), True),
+            (column_in("x", [1, 4]), column_in("x", [1, 2, 3]), False),
+            (column_eq("x", 2), column_in("x", [1, 2]), True),
+            (column_lt("y", 5), column_lt("x", 5), False),
+        ],
+    )
+    def test_cases(self, p, f, expected):
+        assert unary_implies(p, f) is expected
+
+    def test_identity(self):
+        p = column_in("x", [1, 2])
+        assert unary_implies(p, p)
+
+
+class TestImplies:
+    def test_conjunct_implies(self):
+        q = conjunction([column_lt("x", 5), column_eq("c", 1)])
+        assert implies(q, column_lt("x", 10))
+        assert implies(q, column_eq("c", 1))
+        assert not implies(q, column_eq("c", 2))
+
+    def test_disjunction_requires_all_branches(self):
+        q = disjunction([column_lt("x", 3), column_lt("x", 7)])
+        assert implies(q, column_lt("x", 10))
+        assert not implies(q, column_lt("x", 5))
+
+    def test_advanced_cut_syntactic(self):
+        from repro.core import AdvancedCut
+
+        ac = AdvancedCut("a", 0, lambda c: c["x"] > 0)
+        assert implies(ac, ac)
+        assert not implies(ac, column_lt("x", 5))
+
+    def test_soundness_empirically(self, mixed_table):
+        """If implies(q, f) then rows(q) is a subset of rows(f)."""
+        candidates = [
+            column_lt("age", 30),
+            column_lt("age", 60),
+            column_ge("age", 20),
+            column_eq("city", 1),
+            column_in("city", [0, 1]),
+            conjunction([column_lt("age", 30), column_eq("city", 1)]),
+            disjunction([column_lt("age", 10), column_lt("age", 25)]),
+        ]
+        columns = mixed_table.columns()
+        for q in candidates:
+            for f in candidates:
+                if implies(q, f):
+                    qm = q.evaluate(columns)
+                    fm = f.evaluate(columns)
+                    assert not (qm & ~fm).any(), (q, f)

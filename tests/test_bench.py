@@ -1,0 +1,109 @@
+"""Unit tests for repro.bench (harness + reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomPartitioner
+from repro.bench import (
+    build_baseline_layout,
+    build_greedy_layout,
+    build_rl_layout,
+    format_cdf,
+    format_series,
+    format_table,
+    logical_access_pct,
+    run_physical,
+    sample_for_construction,
+)
+from repro.engine import COMMERCIAL_DBMS, SPARK_PARQUET
+from repro.workloads import disjunctive_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return disjunctive_dataset(num_rows=10_000, seed=0)
+
+
+class TestHarness:
+    def test_sample_for_construction_full(self, dataset):
+        sample, b = sample_for_construction(dataset, None)
+        assert sample is dataset.table
+        assert b == dataset.min_block_size
+
+    def test_sample_for_construction_ratio(self, dataset):
+        sample, b = sample_for_construction(dataset, 0.1)
+        assert sample.num_rows == dataset.table.num_rows // 10
+        assert b == max(1, round(dataset.min_block_size * 0.1))
+
+    def test_greedy_layout(self, dataset):
+        layout = build_greedy_layout(dataset)
+        assert layout.tree is not None
+        assert layout.num_blocks >= 2
+        assert layout.build_seconds > 0
+        assert layout.store.logical_rows == dataset.table.num_rows
+
+    def test_rl_layout(self, dataset):
+        layout = build_rl_layout(dataset, episodes=5, hidden_dim=16)
+        assert layout.rl_result is not None
+        assert layout.rl_result.episodes_run == 5
+
+    def test_baseline_layout(self, dataset):
+        layout = build_baseline_layout(
+            dataset, RandomPartitioner(block_size=1000)
+        )
+        assert layout.tree is None
+        assert layout.label == "random"
+
+    def test_logical_access_pct_qdtree_beats_random(self, dataset):
+        greedy = build_greedy_layout(dataset)
+        random = build_baseline_layout(
+            dataset, RandomPartitioner(block_size=1000)
+        )
+        assert logical_access_pct(greedy, dataset.workload) < (
+            logical_access_pct(random, dataset.workload)
+        )
+
+    def test_run_physical_routing_vs_no_route(self, dataset):
+        layout = build_greedy_layout(dataset)
+        routed = run_physical(layout, dataset.workload, SPARK_PARQUET)
+        no_route = run_physical(
+            layout, dataset.workload, SPARK_PARQUET, use_routing=False
+        )
+        assert routed.total_tuples_scanned <= no_route.total_tuples_scanned
+        assert "no route" in no_route.label
+
+    def test_run_physical_profiles_differ(self, dataset):
+        layout = build_greedy_layout(dataset)
+        parquet = run_physical(layout, dataset.workload, SPARK_PARQUET)
+        dbms = run_physical(layout, dataset.workload, COMMERCIAL_DBMS)
+        assert parquet.total_modeled_ms != dbms.total_modeled_ms
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 123.456]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_cdf(self):
+        xs = np.linspace(0, 1, 100)
+        ys = np.arange(1, 101) / 100
+        out = format_cdf(xs, ys, label="latency")
+        assert "p 50" in out and "p100" in out
+
+    def test_format_cdf_empty(self):
+        out = format_cdf(np.empty(0), np.empty(0))
+        assert "empty" in out
+
+    def test_format_series_subsamples(self):
+        points = [(float(i), float(i * i)) for i in range(1000)]
+        out = format_series(points, max_points=10)
+        assert len(out.splitlines()) <= 13
+        assert "999" in out  # last point always present
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series([])

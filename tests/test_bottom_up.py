@@ -1,0 +1,119 @@
+"""Unit tests for repro.baselines.bottom_up (Sun et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BottomUpConfig, BottomUpPartitioner, select_features
+from repro.core import CutRegistry, Query, Workload, column_eq, column_lt
+from repro.storage import BlockStore
+
+
+@pytest.fixture
+def setup(mixed_schema, mixed_table, mixed_workload):
+    registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+    return registry, mixed_table, mixed_workload
+
+
+class TestFeatureSelection:
+    def test_selects_up_to_max(self, setup):
+        registry, table, workload = setup
+        config = BottomUpConfig(min_block_size=50, max_features=2)
+        chosen = select_features(registry, workload, table, config)
+        assert 0 < len(chosen) <= 2
+
+    def test_selectivity_threshold_filters(self, setup):
+        registry, table, workload = setup
+        # Threshold 0 rejects everything (every cut selects > 0%).
+        config = BottomUpConfig(min_block_size=50, selectivity_threshold=0.0)
+        chosen = select_features(registry, workload, table, config)
+        assert chosen == []
+
+    def test_untuned_keeps_unselective_features(self, setup):
+        registry, table, workload = setup
+        untuned = select_features(
+            registry, workload, table, BottomUpConfig(min_block_size=50)
+        )
+        tuned = select_features(
+            registry,
+            workload,
+            table,
+            BottomUpConfig(min_block_size=50, selectivity_threshold=0.3),
+        )
+        assert set(tuned) <= set(untuned) or len(tuned) <= len(untuned)
+
+    def test_frequency_threshold(self, setup):
+        registry, table, workload = setup
+        config = BottomUpConfig(min_block_size=50, frequency_threshold=10**9)
+        chosen = select_features(registry, workload, table, config)
+        assert chosen == []
+
+
+class TestPartition:
+    def test_blocks_meet_min_size(self, setup):
+        registry, table, workload = setup
+        part = BottomUpPartitioner(
+            registry, workload, BottomUpConfig(min_block_size=150)
+        )
+        bids = part.partition(table)
+        _, counts = np.unique(bids, return_counts=True)
+        # All blocks >= b (unless merging collapsed everything).
+        if len(counts) > 1:
+            assert counts.min() >= 150
+
+    def test_all_rows_assigned(self, setup):
+        registry, table, workload = setup
+        part = BottomUpPartitioner(
+            registry, workload, BottomUpConfig(min_block_size=100)
+        )
+        bids = part.partition(table)
+        assert len(bids) == table.num_rows
+        assert bids.min() >= 0
+
+    def test_no_features_single_block(self, setup):
+        registry, table, workload = setup
+        part = BottomUpPartitioner(
+            registry,
+            workload,
+            BottomUpConfig(min_block_size=100, selectivity_threshold=0.0),
+        )
+        bids = part.partition(table)
+        assert (bids == 0).all()
+
+    def test_skipping_beats_random(self, mixed_schema, mixed_table):
+        """Bottom-Up should group rows so some queries skip blocks."""
+        from repro.baselines import RandomPartitioner
+        from repro.core import conjunction, column_ge
+        from repro.engine import SPARK_PARQUET, ScanEngine, WorkloadReport
+
+        wl = Workload(
+            [
+                Query(column_lt("age", 25), name="young"),
+                Query(column_eq("city", 1), name="sf"),
+                Query(column_ge("age", 75), name="old"),
+            ]
+        )
+        registry = CutRegistry.from_workload(mixed_schema, wl)
+        bu = BottomUpPartitioner(
+            registry, wl, BottomUpConfig(min_block_size=100)
+        )
+        bu_bids = bu.partition(mixed_table)
+        rnd_bids = RandomPartitioner(block_size=200, seed=0).partition(
+            mixed_table
+        )
+
+        def scanned(bids):
+            store = BlockStore.from_assignment(mixed_table, bids)
+            engine = ScanEngine(store, SPARK_PARQUET)
+            report = WorkloadReport("x", engine.execute_workload(wl))
+            return report.total_tuples_scanned
+
+        assert scanned(bu_bids) < scanned(rnd_bids)
+
+    def test_selected_features_exposed(self, setup):
+        registry, table, workload = setup
+        part = BottomUpPartitioner(
+            registry, workload, BottomUpConfig(min_block_size=100)
+        )
+        part.partition(table)
+        assert part.selected_features
+        assert all(0 <= f < len(registry) for f in part.selected_features)

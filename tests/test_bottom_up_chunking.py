@@ -1,0 +1,96 @@
+"""Tests for Bottom-Up group chunking (max_block_size)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BottomUpConfig, BottomUpPartitioner
+from repro.baselines.bottom_up import _split_large_groups
+from repro.core import CutRegistry
+
+
+class TestSplitLargeGroups:
+    def test_splits_to_cap(self):
+        bids = np.zeros(10, dtype=np.int64)
+        out = _split_large_groups(bids, max_block_size=3)
+        _, counts = np.unique(out, return_counts=True)
+        assert counts.max() <= 3
+        assert counts.sum() == 10
+
+    def test_preserves_group_boundaries(self):
+        bids = np.array([0, 0, 0, 1, 1, 1], dtype=np.int64)
+        out = _split_large_groups(bids, max_block_size=2)
+        # Rows of different logical groups never share a physical block.
+        for block in np.unique(out):
+            rows = np.flatnonzero(out == block)
+            assert len(np.unique(bids[rows])) == 1
+
+    def test_dense_bids(self):
+        bids = np.array([5, 5, 9, 9, 9], dtype=np.int64)
+        out = _split_large_groups(bids, max_block_size=2)
+        assert set(np.unique(out)) == set(range(out.max() + 1))
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            _split_large_groups(np.zeros(3, dtype=np.int64), 0)
+
+    def test_noop_when_under_cap(self):
+        bids = np.array([0, 1, 2], dtype=np.int64)
+        out = _split_large_groups(bids, max_block_size=10)
+        assert len(np.unique(out)) == 3
+
+
+class TestPartitionerChunking:
+    def test_max_block_size_enforced(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+        part = BottomUpPartitioner(
+            registry,
+            mixed_workload,
+            BottomUpConfig(min_block_size=100, max_block_size=150),
+        )
+        bids = part.partition(mixed_table)
+        _, counts = np.unique(bids, return_counts=True)
+        assert counts.max() <= 150
+
+    def test_chunking_increases_block_count(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+        plain = BottomUpPartitioner(
+            registry, mixed_workload, BottomUpConfig(min_block_size=100)
+        ).partition(mixed_table)
+        chunked = BottomUpPartitioner(
+            registry,
+            mixed_workload,
+            BottomUpConfig(min_block_size=100, max_block_size=120),
+        ).partition(mixed_table)
+        assert len(np.unique(chunked)) >= len(np.unique(plain))
+
+    def test_chunking_preserves_skipping(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        """Splitting a group cannot reduce skipping (min-max indexes of
+        sub-blocks are at least as tight)."""
+        from repro.engine import SPARK_PARQUET, ScanEngine, WorkloadReport
+        from repro.storage import BlockStore
+
+        registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+
+        def scanned(bids):
+            store = BlockStore.from_assignment(mixed_table, bids)
+            engine = ScanEngine(store, SPARK_PARQUET)
+            report = WorkloadReport(
+                "x", engine.execute_workload(mixed_workload)
+            )
+            return report.total_tuples_scanned
+
+        plain = BottomUpPartitioner(
+            registry, mixed_workload, BottomUpConfig(min_block_size=100)
+        ).partition(mixed_table)
+        chunked = BottomUpPartitioner(
+            registry,
+            mixed_workload,
+            BottomUpConfig(min_block_size=100, max_block_size=120),
+        ).partition(mixed_table)
+        assert scanned(chunked) <= scanned(plain)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.storage.catalog persistence."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    BlockStore,
+    Schema,
+    Table,
+    categorical,
+    load_store,
+    load_table,
+    numeric,
+    save_store,
+    save_table,
+)
+
+
+@pytest.fixture
+def store(mixed_table):
+    bids = np.arange(mixed_table.num_rows) % 3
+    return BlockStore.from_assignment(
+        mixed_table, bids, descriptions={0: "first", 2: "third"}
+    )
+
+
+class TestTablePersistence:
+    def test_roundtrip(self, mixed_table, tmp_path):
+        save_table(mixed_table, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        assert loaded.num_rows == mixed_table.num_rows
+        for name in mixed_table.schema.column_names:
+            np.testing.assert_array_equal(
+                loaded.column(name), mixed_table.column(name)
+            )
+
+    def test_dictionary_preserved(self, tmp_path):
+        schema = Schema([categorical("c", ["zeta", "alpha"])])
+        t = Table(schema, {"c": np.array([1, 0, 1])})
+        save_table(t, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        assert loaded.schema["c"].dictionary.values() == ("zeta", "alpha")
+        assert loaded.row(0) == {"c": "alpha"}
+
+
+class TestStorePersistence:
+    def test_roundtrip_block_count(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        loaded = load_store(tmp_path / "s")
+        assert loaded.num_blocks == store.num_blocks
+        assert loaded.logical_rows == store.logical_rows
+
+    def test_roundtrip_block_contents(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        loaded = load_store(tmp_path / "s")
+        for block in store:
+            reloaded = loaded.block(block.block_id)
+            np.testing.assert_array_equal(
+                reloaded.read_column("age"), block.read_column("age")
+            )
+
+    def test_descriptions_survive(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        loaded = load_store(tmp_path / "s")
+        assert loaded.block(0).description == "first"
+        assert loaded.block(1).description is None
+        assert loaded.block(2).description == "third"
+
+    def test_minmax_rebuilt(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        loaded = load_store(tmp_path / "s")
+        for block in loaded:
+            assert block.minmax.bounds("salary") is not None
+
+    def test_load_without_dictionaries(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        loaded = load_store(tmp_path / "s", with_dictionaries=False)
+        stats = loaded.block(0).minmax.column_stats("city")
+        assert stats.distinct is None
+
+    def test_files_on_disk(self, store, tmp_path):
+        save_store(store, tmp_path / "s")
+        files = {p.name for p in (tmp_path / "s").iterdir()}
+        assert "catalog.json" in files
+        assert "block-0.npz" in files and "block-2.npz" in files

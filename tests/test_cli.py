@@ -1,0 +1,140 @@
+"""Unit tests for the repro CLI."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.storage import Schema, Table, categorical, numeric, save_table
+
+
+@pytest.fixture
+def table_dir(tmp_path):
+    rng = np.random.default_rng(0)
+    schema = Schema(
+        [
+            numeric("x", (0.0, 100.0)),
+            numeric("y", (0.0, 1.0)),
+            categorical("kind", ["a", "b", "c"]),
+        ]
+    )
+    table = Table(
+        schema,
+        {
+            "x": rng.uniform(0, 100, 5000),
+            "y": rng.uniform(0, 1, 5000),
+            "kind": rng.integers(0, 3, 5000),
+        },
+    )
+    path = tmp_path / "table"
+    save_table(table, path)
+    return path
+
+
+@pytest.fixture
+def queries_file(tmp_path):
+    path = tmp_path / "wl.sql"
+    path.write_text(
+        "-- workload\n"
+        "SELECT x FROM t WHERE x < 20\n"
+        "\n"
+        "SELECT x FROM t WHERE kind = 'b' AND y < 0.2\n"
+        "SELECT x FROM t WHERE x >= 80 AND kind IN ('a','c')\n"
+    )
+    return path
+
+
+@pytest.fixture
+def layout_dir(table_dir, queries_file, tmp_path, capsys):
+    out = tmp_path / "layout"
+    code = main(
+        [
+            "build",
+            "--table", str(table_dir),
+            "--queries", str(queries_file),
+            "--out", str(out),
+            "--min-block-size", "200",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    return out
+
+
+class TestBuild:
+    def test_build_writes_artifacts(self, layout_dir):
+        assert (layout_dir / "catalog.json").exists()
+        assert (layout_dir / "qdtree.json").exists()
+        meta = json.loads((layout_dir / "layout-meta.json").read_text())
+        assert meta["method"] == "greedy"
+        assert meta["num_blocks"] >= 2
+
+    def test_build_woodblock(self, table_dir, queries_file, tmp_path, capsys):
+        out = tmp_path / "layout-rl"
+        code = main(
+            [
+                "build",
+                "--table", str(table_dir),
+                "--queries", str(queries_file),
+                "--out", str(out),
+                "--method", "woodblock",
+                "--episodes", "4",
+                "--hidden-dim", "16",
+                "--min-block-size", "200",
+            ]
+        )
+        assert code == 0
+        assert "trained 4 episodes" in capsys.readouterr().out
+
+    def test_build_empty_queries_fails(self, table_dir, tmp_path):
+        empty = tmp_path / "empty.sql"
+        empty.write_text("-- nothing\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "build",
+                    "--table", str(table_dir),
+                    "--queries", str(empty),
+                    "--out", str(tmp_path / "x"),
+                ]
+            )
+
+
+class TestInspect:
+    def test_inspect_prints_blocks(self, layout_dir, capsys):
+        assert main(["inspect", "--layout", str(layout_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cut histogram" in out
+        assert "block 0" in out
+
+
+class TestRoute:
+    def test_route_prunes_blocks(self, layout_dir, capsys):
+        code = main(
+            [
+                "route",
+                "--layout", str(layout_dir),
+                "--sql", "SELECT x FROM t WHERE x < 5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BID IN (" in out
+        assert "returned" in out
+
+    def test_route_counts_match_table(self, layout_dir, table_dir, capsys):
+        from repro.storage import load_table
+
+        table = load_table(table_dir)
+        expected = int((table.column("x") < 5).sum())
+        main(
+            [
+                "route",
+                "--layout", str(layout_dir),
+                "--sql", "SELECT x FROM t WHERE x < 5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert f"returned {expected} rows" in out

@@ -1,0 +1,155 @@
+"""Unit tests for repro.engine (executor, profiles, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, column_eq, column_ge, column_lt, conjunction
+from repro.core.workload import Workload
+from repro.engine import (
+    COMMERCIAL_DBMS,
+    SPARK_PARQUET,
+    CostProfile,
+    ScanEngine,
+    WorkloadReport,
+    speedup_cdf,
+)
+from repro.storage import BlockStore
+
+
+@pytest.fixture
+def store(mixed_table):
+    """Blocks range-partitioned on age: prunable by min-max."""
+    order = np.argsort(mixed_table.column("age"), kind="stable")
+    bids = np.empty(mixed_table.num_rows, dtype=np.int64)
+    bids[order] = np.arange(mixed_table.num_rows) // 500
+    return BlockStore.from_assignment(mixed_table, bids)
+
+
+class TestProfiles:
+    def test_modeled_ms_linear(self):
+        p = CostProfile("t", block_open_ms=5.0, tuple_column_scan_ns=100.0,
+                        columnar=True, block_dictionaries=True)
+        assert p.modeled_ms(2, 0, 3) == pytest.approx(10.0)
+        assert p.modeled_ms(0, 1_000_000, 2) == pytest.approx(200.0)
+
+    def test_builtin_profiles_distinct(self):
+        assert SPARK_PARQUET.columnar and SPARK_PARQUET.block_dictionaries
+        assert not COMMERCIAL_DBMS.columnar
+        assert not COMMERCIAL_DBMS.block_dictionaries
+
+
+class TestExecution:
+    def test_minmax_prunes_range_query(self, store):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        q = Query(column_ge("age", 90), name="old")
+        stats = engine.execute(q)
+        assert stats.blocks_scanned < store.num_blocks
+        assert stats.rows_returned > 0
+
+    def test_result_counts_correct(self, store, mixed_table):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        q = Query(column_lt("age", 30), name="young")
+        stats = engine.execute(q)
+        expected = int((mixed_table.column("age") < 30).sum())
+        assert stats.rows_returned == expected
+
+    def test_bid_filter_limits_scan(self, store):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        q = Query(column_ge("age", 0), name="all")
+        limited = engine.execute(q, block_ids=[0, 1])
+        assert limited.blocks_scanned <= 2
+        assert limited.blocks_considered == 2
+
+    def test_categorical_dictionary_pruning(self, mixed_table):
+        # Partition by city: each block holds one city code.
+        bids = mixed_table.column("city").astype(np.int64)
+        store = BlockStore.from_assignment(mixed_table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET)
+        q = Query(column_eq("city", 2), name="sea")
+        stats = engine.execute(q)
+        assert stats.blocks_scanned == 1
+
+    def test_no_dictionary_cannot_prune_categorical(self, mixed_table):
+        bids = mixed_table.column("city").astype(np.int64)
+        store = BlockStore.from_assignment(
+            mixed_table, bids, with_dictionaries=False
+        )
+        engine = ScanEngine(store, COMMERCIAL_DBMS)
+        q = Query(column_eq("city", 2), name="sea")
+        stats = engine.execute(q)
+        # Code ranges still prune the blocks whose [min,max] excludes 2.
+        assert stats.blocks_scanned >= 1
+
+    def test_row_store_charges_all_columns(self, store, mixed_schema):
+        engine = ScanEngine(store, COMMERCIAL_DBMS)
+        q = Query(column_lt("age", 30), name="young")
+        stats = engine.execute(q)
+        assert stats.columns_read == len(mixed_schema)
+
+    def test_columnar_charges_referenced_columns(self, store):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        q = Query(column_lt("age", 30), name="young", columns=("age", "salary"))
+        stats = engine.execute(q)
+        assert stats.columns_read == 2
+
+    def test_execute_workload_alignment(self, store, mixed_workload):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        stats = engine.execute_workload(mixed_workload)
+        assert len(stats) == len(mixed_workload)
+        with pytest.raises(ValueError):
+            engine.execute_workload(mixed_workload, routed_bids=[None])
+
+    def test_routed_none_falls_back_to_sma(self, store, mixed_workload):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        routed = [None] * len(mixed_workload)
+        stats = engine.execute_workload(mixed_workload, routed)
+        assert all(s.blocks_scanned <= store.num_blocks for s in stats)
+
+
+class TestWorkloadReport:
+    def make_report(self, store, workload, label="r"):
+        engine = ScanEngine(store, SPARK_PARQUET)
+        return WorkloadReport(label, engine.execute_workload(workload))
+
+    def test_totals(self, store, mixed_workload):
+        report = self.make_report(store, mixed_workload)
+        assert report.total_modeled_ms > 0
+        assert report.total_tuples_scanned > 0
+        assert len(report.per_query_modeled_ms()) == len(mixed_workload)
+
+    def test_access_percentage_bounds(self, store, mixed_workload, mixed_table):
+        report = self.make_report(store, mixed_workload)
+        pct = report.access_percentage(mixed_table.num_rows)
+        assert 0 < pct <= 100
+
+    def test_per_template_grouping(self, store, mixed_workload):
+        report = self.make_report(store, mixed_workload)
+        per_template = report.per_template_modeled_ms()
+        assert set(per_template) == {"age", "city", "comp"}
+
+    def test_speedup_over_self_is_one(self, store, mixed_workload):
+        report = self.make_report(store, mixed_workload)
+        assert report.speedup_over(report) == pytest.approx(1.0)
+
+    def test_speedup_cdf(self, store, mixed_workload):
+        base = self.make_report(store, mixed_workload, "base")
+        # A "faster" report: halve every modeled time.
+        from dataclasses import replace
+
+        fast = WorkloadReport(
+            "fast", [replace(s, modeled_ms=s.modeled_ms / 2) for s in base.stats]
+        )
+        xs, ys = speedup_cdf(base, fast)
+        assert np.allclose(xs, 2.0)
+        assert ys[-1] == 1.0
+
+    def test_speedup_cdf_mismatched_lengths(self, store, mixed_workload):
+        base = self.make_report(store, mixed_workload)
+        short = WorkloadReport("short", base.stats[:1])
+        with pytest.raises(ValueError):
+            speedup_cdf(base, short)
+
+    def test_summary_keys(self, store, mixed_workload):
+        report = self.make_report(store, mixed_workload)
+        summary = report.summary()
+        assert summary["queries"] == len(mixed_workload)

@@ -1,0 +1,109 @@
+"""Additional engine edge cases: advanced cuts, routed supersets,
+profile interactions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvancedCut,
+    Query,
+    column_ge,
+    column_lt,
+    conjunction,
+)
+from repro.engine import COMMERCIAL_DBMS, SPARK_PARQUET, ScanEngine
+from repro.storage import BlockStore, Schema, Table, numeric
+
+
+@pytest.fixture
+def ac_setup():
+    """Two-column table where an advanced cut discriminates."""
+    rng = np.random.default_rng(0)
+    schema = Schema([numeric("a", (0.0, 100.0)), numeric("b", (0.0, 100.0))])
+    table = Table(
+        schema,
+        {"a": rng.uniform(0, 100, 4000), "b": rng.uniform(0, 100, 4000)},
+    )
+    cut = AdvancedCut("a < b", 0, lambda c: c["a"] < c["b"], ("a", "b"))
+    return schema, table, cut
+
+
+class TestAdvancedCutExecution:
+    def test_min_max_cannot_prune_advanced_cut(self, ac_setup):
+        """SMA metadata carries no AC information: no skipping."""
+        schema, table, cut = ac_setup
+        bids = (table.column("a") >= 50).astype(np.int64)
+        store = BlockStore.from_assignment(table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET, num_advanced_cuts=1)
+        stats = engine.execute(Query(cut, name="ac"))
+        assert stats.blocks_scanned == store.num_blocks
+
+    def test_qdtree_routing_prunes_advanced_cut(self, ac_setup):
+        """Tree descriptions track AC bits, so routing can prune."""
+        from repro.core import CutRegistry, QdTree, QueryRouter
+
+        schema, table, cut = ac_setup
+        registry = CutRegistry(schema, [cut])
+        tree = QdTree(schema, registry)
+        tree.apply_cut(tree.root, cut)
+        tree.assign_block_ids()
+        router = QueryRouter(tree)
+        routed = router.route(Query(cut, name="ac"))
+        assert len(routed.block_ids) == 1
+
+    def test_ac_results_correct_either_path(self, ac_setup):
+        schema, table, cut = ac_setup
+        bids = (table.column("a") >= 50).astype(np.int64)
+        store = BlockStore.from_assignment(table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET, num_advanced_cuts=1)
+        expected = int((table.column("a") < table.column("b")).sum())
+        assert engine.execute(Query(cut, name="ac")).rows_returned == expected
+
+
+class TestRoutedSupersets:
+    def test_routed_bids_beyond_store_ignored(self, mixed_table, mixed_workload):
+        bids = np.arange(mixed_table.num_rows) % 3
+        store = BlockStore.from_assignment(mixed_table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET)
+        stats = engine.execute(mixed_workload[0], block_ids=[0, 1, 2, 99])
+        assert stats.blocks_scanned <= 3
+
+    def test_empty_routed_list_scans_nothing(self, mixed_table, mixed_workload):
+        bids = np.zeros(mixed_table.num_rows, dtype=np.int64)
+        store = BlockStore.from_assignment(mixed_table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET)
+        stats = engine.execute(mixed_workload[0], block_ids=[])
+        assert stats.blocks_scanned == 0
+        assert stats.rows_returned == 0
+
+
+class TestProfileInteraction:
+    def test_dbms_slower_per_column_but_cheaper_open(self, mixed_table):
+        bids = np.arange(mixed_table.num_rows) % 4
+        store = BlockStore.from_assignment(mixed_table, bids)
+        q = Query(
+            conjunction([column_ge("age", 0), column_lt("age", 200)]),
+            name="full",
+            columns=("age",),
+        )
+        parquet = ScanEngine(store, SPARK_PARQUET).execute(q)
+        dbms = ScanEngine(store, COMMERCIAL_DBMS).execute(q)
+        # Row store reads all 4 columns; parquet just 1.
+        assert dbms.columns_read == 4
+        assert parquet.columns_read == 1
+
+    def test_modeled_cost_increases_with_columns(self, mixed_table):
+        bids = np.zeros(mixed_table.num_rows, dtype=np.int64)
+        store = BlockStore.from_assignment(mixed_table, bids)
+        engine = ScanEngine(store, SPARK_PARQUET)
+        narrow = engine.execute(
+            Query(column_ge("age", 0), name="n", columns=("age",))
+        )
+        wide = engine.execute(
+            Query(
+                column_ge("age", 0),
+                name="w",
+                columns=("age", "salary", "city", "level"),
+            )
+        )
+        assert wide.modeled_ms > narrow.modeled_ms

@@ -1,0 +1,63 @@
+"""Smoke tests: the example scripts run end to end.
+
+The heavyweight examples are exercised with reduced arguments so the
+whole file stays fast; their full-size defaults are covered by the
+benchmark suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_custom_workload_example(capsys):
+    run_example("custom_workload.py")
+    out = capsys.readouterr().out
+    assert "candidate" in out
+    assert "reloaded" in out
+
+
+def test_overlap_replication_example(capsys):
+    run_example("overlap_replication.py")
+    out = capsys.readouterr().out
+    assert "Part 1" in out and "Part 2" in out
+    assert "replicated rows" in out
+
+
+def test_tpch_layout_example_small(capsys):
+    run_example(
+        "tpch_layout.py",
+        ["--rows", "8000", "--episodes", "5", "--seeds-per-template", "2"],
+    )
+    out = capsys.readouterr().out
+    assert "TPC-H layouts" in out
+    assert "woodblock" in out
+
+
+def test_errorlog_skipping_example_small(capsys):
+    run_example(
+        "errorlog_skipping.py",
+        ["--rows", "8000", "--queries", "60", "--episodes", "5"],
+    )
+    out = capsys.readouterr().out
+    assert "ErrorLog-Int layouts" in out
+
+
+@pytest.mark.slow
+def test_quickstart_example(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Woodblock" in out

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.ingest (Problem 2: online ingestion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CutRegistry,
+    GreedyConfig,
+    IngestionPipeline,
+    build_greedy_tree,
+    column_lt,
+    validate_layout,
+)
+from repro.storage import Schema, Table, numeric
+
+
+@pytest.fixture
+def learned_tree(mixed_schema, mixed_table, mixed_workload):
+    registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+    tree = build_greedy_tree(
+        mixed_schema, registry, mixed_table, mixed_workload, GreedyConfig(100)
+    )
+    tree.freeze(mixed_table)
+    return tree
+
+
+def fresh_batches(mixed_schema, seed, num_batches=4, rows=500):
+    """Future data drawn from the same distribution (Problem 2's
+    assumption)."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(num_batches):
+        batches.append(
+            Table(
+                mixed_schema,
+                {
+                    "age": rng.integers(0, 100, rows).astype(float),
+                    "salary": rng.uniform(0, 200_000, rows),
+                    "city": rng.integers(0, 4, rows),
+                    "level": rng.integers(0, 3, rows),
+                },
+            )
+        )
+    return batches
+
+
+class TestIngestionPipeline:
+    def test_routes_every_row(self, learned_tree, mixed_schema):
+        pipeline = IngestionPipeline(learned_tree, segment_rows=300)
+        total = 0
+        for batch in fresh_batches(mixed_schema, seed=9):
+            bids = pipeline.ingest(batch)
+            assert len(bids) == batch.num_rows
+            total += batch.num_rows
+        assert pipeline.rows_ingested == total
+
+    def test_finish_preserves_all_rows(self, learned_tree, mixed_schema):
+        pipeline = IngestionPipeline(learned_tree, segment_rows=300)
+        batches = fresh_batches(mixed_schema, seed=10)
+        for batch in batches:
+            pipeline.ingest(batch)
+        store = pipeline.finish()
+        assert store.stored_rows == sum(b.num_rows for b in batches)
+        assert pipeline.buffered_rows() == 0
+
+    def test_segments_respect_size(self, learned_tree, mixed_schema):
+        pipeline = IngestionPipeline(learned_tree, segment_rows=200)
+        for batch in fresh_batches(mixed_schema, seed=11):
+            pipeline.ingest(batch)
+        pipeline.finish()
+        for info in pipeline.segments:
+            assert info.num_rows <= 200
+
+    def test_ingested_rows_match_tree_routing(
+        self, learned_tree, mixed_schema
+    ):
+        """Online routing equals offline bulk routing."""
+        pipeline = IngestionPipeline(learned_tree, segment_rows=10_000)
+        batch = fresh_batches(mixed_schema, seed=12, num_batches=1)[0]
+        online = pipeline.ingest(batch)
+        offline = learned_tree.route_to_blocks(batch)
+        np.testing.assert_array_equal(online, offline)
+
+    def test_blocks_keep_completeness_on_future_data(
+        self, learned_tree, mixed_schema
+    ):
+        """The learned partitioning function stays complete on unseen
+        tuples from the same distribution (Problem 2)."""
+        pipeline = IngestionPipeline(learned_tree, segment_rows=500)
+        batches = fresh_batches(mixed_schema, seed=13)
+        merged = batches[0]
+        for batch in batches[1:]:
+            merged = merged.concat(batch)
+        for batch in batches:
+            pipeline.ingest(batch)
+        store = pipeline.finish()
+        columns = merged.columns()
+        bids = learned_tree.route_to_blocks(merged)
+        for block in store:
+            stored = block.num_rows
+            routed = int((bids == block.block_id).sum())
+            assert stored == routed
+
+    def test_throughput_positive(self, learned_tree, mixed_schema):
+        pipeline = IngestionPipeline(learned_tree, segment_rows=300)
+        pipeline.ingest(fresh_batches(mixed_schema, seed=14, num_batches=1)[0])
+        assert pipeline.routing_throughput > 0
+
+    def test_invalid_segment_rows(self, learned_tree):
+        with pytest.raises(ValueError):
+            IngestionPipeline(learned_tree, segment_rows=0)
+
+    def test_layout_quality_holds_on_future_data(
+        self, learned_tree, mixed_schema, mixed_workload, mixed_table
+    ):
+        """Skipping quality on future same-distribution data is close
+        to quality on the training data (the paper's core Problem 2
+        assumption)."""
+        from repro.core import leaf_sizes, scan_ratio
+
+        train_ratio = scan_ratio(
+            learned_tree, mixed_workload, leaf_sizes(learned_tree, mixed_table)
+        )
+        future = fresh_batches(mixed_schema, seed=15, num_batches=1, rows=4000)[0]
+        future_ratio = scan_ratio(
+            learned_tree, mixed_workload, leaf_sizes(learned_tree, future)
+        )
+        assert abs(future_ratio - train_ratio) < 0.15

@@ -1,0 +1,80 @@
+"""Unit tests for repro.storage.minmax (SMA / zone-map indexes)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import MinMaxIndex, Schema, Table, categorical, numeric
+from repro.storage.minmax import ColumnStats
+
+
+@pytest.fixture
+def block_table():
+    schema = Schema(
+        [numeric("x", (0, 100)), categorical("c", ["a", "b", "c", "d"])]
+    )
+    return Table(
+        schema,
+        {
+            "x": np.array([10.0, 20.0, 30.0]),
+            "c": np.array([0, 2, 2]),
+        },
+    )
+
+
+class TestColumnStats:
+    def test_contains_value_range(self):
+        s = ColumnStats(10.0, 30.0)
+        assert s.contains_value(10.0) and s.contains_value(30.0)
+        assert not s.contains_value(9.9) and not s.contains_value(31.0)
+
+    def test_contains_value_with_dictionary(self):
+        s = ColumnStats(0.0, 2.0, distinct=np.array([True, False, True]))
+        assert s.contains_value(0)
+        assert not s.contains_value(1)  # in range but absent
+        assert not s.contains_value(5)  # out of dictionary
+
+    def test_overlaps_range_inclusive_edges(self):
+        s = ColumnStats(10.0, 30.0)
+        assert s.overlaps_range(30.0, 50.0)
+        assert not s.overlaps_range(30.0, 50.0, lo_inclusive=False)
+        assert s.overlaps_range(0.0, 10.0)
+        assert not s.overlaps_range(0.0, 10.0, hi_inclusive=False)
+
+    def test_overlaps_disjoint(self):
+        s = ColumnStats(10.0, 30.0)
+        assert not s.overlaps_range(31.0, 40.0)
+        assert not s.overlaps_range(-5.0, 9.0)
+
+
+class TestMinMaxIndex:
+    def test_build_bounds(self, block_table):
+        idx = MinMaxIndex.build(block_table)
+        assert idx.bounds("x") == (10.0, 30.0)
+
+    def test_build_dictionary_bits(self, block_table):
+        idx = MinMaxIndex.build(block_table)
+        stats = idx.column_stats("c")
+        assert stats.distinct.tolist() == [True, False, True, False]
+
+    def test_build_without_dictionaries(self, block_table):
+        idx = MinMaxIndex.build(block_table, with_dictionaries=False)
+        assert idx.column_stats("c").distinct is None
+
+    def test_without_dictionaries_copy(self, block_table):
+        idx = MinMaxIndex.build(block_table).without_dictionaries()
+        assert idx.column_stats("c").distinct is None
+        assert idx.bounds("c") == (0.0, 2.0)
+
+    def test_untracked_column(self, block_table):
+        idx = MinMaxIndex.build(block_table, columns=["x"])
+        assert idx.column_stats("c") is None
+        assert idx.bounds("c") is None
+        assert "c" not in idx
+
+    def test_columns_listing(self, block_table):
+        idx = MinMaxIndex.build(block_table)
+        assert set(idx.columns()) == {"x", "c"}
+
+    def test_empty_table_has_no_stats(self, mixed_schema):
+        idx = MinMaxIndex.build(Table.empty(mixed_schema))
+        assert idx.columns() == ()

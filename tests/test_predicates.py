@@ -1,0 +1,208 @@
+"""Unit tests for repro.core.predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvancedCut,
+    And,
+    ColumnPredicate,
+    Not,
+    Op,
+    Or,
+    TruePredicate,
+    column_eq,
+    column_ge,
+    column_gt,
+    column_in,
+    column_le,
+    column_lt,
+    conjunction,
+    disjunction,
+)
+
+DATA = {
+    "x": np.array([1.0, 5.0, 10.0, 15.0]),
+    "y": np.array([0.0, 1.0, 0.0, 1.0]),
+    "c": np.array([0, 1, 2, 1]),
+}
+
+
+class TestColumnPredicate:
+    @pytest.mark.parametrize(
+        "pred,expected",
+        [
+            (column_lt("x", 10), [True, True, False, False]),
+            (column_le("x", 10), [True, True, True, False]),
+            (column_gt("x", 5), [False, False, True, True]),
+            (column_ge("x", 5), [False, True, True, True]),
+            (column_eq("x", 5), [False, True, False, False]),
+            (column_in("c", [0, 2]), [True, False, True, False]),
+        ],
+    )
+    def test_evaluate(self, pred, expected):
+        assert pred.evaluate(DATA).tolist() == expected
+
+    def test_comparison_requires_one_literal(self):
+        with pytest.raises(ValueError):
+            ColumnPredicate("x", Op.LT, [1, 2])
+
+    def test_in_requires_literals(self):
+        with pytest.raises(ValueError):
+            ColumnPredicate("x", Op.IN, [])
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            column_lt("x", 10),
+            column_le("x", 10),
+            column_gt("x", 10),
+            column_ge("x", 10),
+            column_eq("c", 1),
+            column_in("c", [0, 2]),
+        ],
+    )
+    def test_negation_is_complement(self, pred):
+        mask = pred.evaluate(DATA)
+        neg = pred.negate().evaluate(DATA)
+        assert (mask ^ neg).all()
+
+    def test_double_negation_identity(self):
+        pred = column_lt("x", 10)
+        assert pred.negate().negate() == pred
+
+    def test_equality_ignores_in_order(self):
+        assert column_in("c", [0, 2]) == column_in("c", [2, 0])
+        assert hash(column_in("c", [0, 2])) == hash(column_in("c", [2, 0]))
+
+    def test_repr(self):
+        assert repr(column_lt("x", 10)) == "x < 10"
+        assert repr(column_in("c", [0, 2])) == "c IN (0,2)"
+
+    def test_referenced_columns(self):
+        assert column_lt("x", 1).referenced_columns() == {"x"}
+
+
+class TestBooleanOperators:
+    def test_and_evaluate(self):
+        pred = And([column_ge("x", 5), column_lt("x", 15)])
+        assert pred.evaluate(DATA).tolist() == [False, True, True, False]
+
+    def test_or_evaluate(self):
+        pred = Or([column_lt("x", 2), column_gt("x", 12)])
+        assert pred.evaluate(DATA).tolist() == [True, False, False, True]
+
+    def test_not_evaluate(self):
+        pred = Not(column_eq("c", 1))
+        assert pred.evaluate(DATA).tolist() == [True, False, True, False]
+
+    def test_de_morgan_and(self):
+        pred = And([column_ge("x", 5), column_eq("c", 1)])
+        neg = pred.negate()
+        assert isinstance(neg, Or)
+        assert (pred.evaluate(DATA) ^ neg.evaluate(DATA)).all()
+
+    def test_de_morgan_or(self):
+        pred = Or([column_lt("x", 3), column_eq("c", 2)])
+        neg = pred.negate()
+        assert isinstance(neg, And)
+        assert (pred.evaluate(DATA) ^ neg.evaluate(DATA)).all()
+
+    def test_operator_sugar(self):
+        both = column_ge("x", 5) & column_lt("x", 15)
+        either = column_lt("x", 2) | column_gt("x", 12)
+        inverted = ~column_eq("c", 1)
+        assert both.evaluate(DATA).tolist() == [False, True, True, False]
+        assert either.evaluate(DATA).tolist() == [True, False, False, True]
+        assert inverted.evaluate(DATA).tolist() == [True, False, True, False]
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            And([])
+        with pytest.raises(ValueError):
+            Or([])
+
+    def test_leaves_flattening(self):
+        pred = And(
+            [column_lt("x", 3), Or([column_eq("c", 1), column_gt("y", 0)])]
+        )
+        assert len(pred.leaves()) == 3
+
+    def test_referenced_columns_union(self):
+        pred = And([column_lt("x", 3), column_eq("c", 1)])
+        assert pred.referenced_columns() == {"x", "c"}
+
+
+class TestConjunctionDisjunction:
+    def test_conjunction_flattens(self):
+        pred = conjunction(
+            [And([column_lt("x", 3), column_gt("y", 0)]), column_eq("c", 1)]
+        )
+        assert isinstance(pred, And)
+        assert len(pred.children) == 3
+
+    def test_conjunction_drops_true(self):
+        pred = conjunction([TruePredicate(), column_lt("x", 3)])
+        assert pred == column_lt("x", 3)
+
+    def test_conjunction_empty_is_true(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_disjunction_flattens(self):
+        pred = disjunction(
+            [Or([column_lt("x", 3), column_gt("x", 12)]), column_eq("c", 1)]
+        )
+        assert isinstance(pred, Or)
+        assert len(pred.children) == 3
+
+    def test_disjunction_single(self):
+        assert disjunction([column_lt("x", 3)]) == column_lt("x", 3)
+
+    def test_disjunction_empty_raises(self):
+        with pytest.raises(ValueError):
+            disjunction([])
+
+
+class TestAdvancedCut:
+    def make(self, positive=True):
+        return AdvancedCut(
+            "x > y",
+            0,
+            lambda cols: cols["x"] > cols["y"],
+            columns=("x", "y"),
+            positive=positive,
+        )
+
+    def test_evaluate(self):
+        assert self.make().evaluate(DATA).tolist() == [True, True, True, True]
+
+    def test_negation(self):
+        cut = self.make()
+        neg = cut.negate()
+        assert not neg.positive
+        assert (cut.evaluate(DATA) ^ neg.evaluate(DATA)).all()
+        assert neg.negate() == cut
+
+    def test_equality_by_index_and_polarity(self):
+        other = AdvancedCut("anything", 0, lambda c: c["x"] > 0)
+        assert self.make() == other
+        assert self.make() != self.make().negate()
+
+    def test_referenced_columns(self):
+        assert self.make().referenced_columns() == {"x", "y"}
+
+    def test_repr_shows_index(self):
+        assert "AC0" in repr(self.make())
+
+
+class TestTruePredicate:
+    def test_evaluate_all_true(self):
+        assert TruePredicate().evaluate(DATA).all()
+
+    def test_negate_roundtrip(self):
+        t = TruePredicate()
+        assert (~t).evaluate(DATA).sum() == 0
+        assert (~~t) == t
+
+    def test_no_leaves(self):
+        assert TruePredicate().leaves() == ()

@@ -1,0 +1,84 @@
+"""Property-based tests for predicate subsumption and BU features.
+
+`implies(q, f)` drives Bottom-Up's skipping correctness: if it ever
+returned a false positive, blocks would be skipped that still contain
+matching rows.  These tests verify soundness on randomly generated
+predicates against randomly generated data.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import implies, unary_implies
+from repro.core import (
+    column_eq,
+    column_ge,
+    column_gt,
+    column_in,
+    column_le,
+    column_lt,
+    conjunction,
+    disjunction,
+)
+
+_BUILDERS = {
+    "lt": column_lt,
+    "le": column_le,
+    "gt": column_gt,
+    "ge": column_ge,
+    "eq": column_eq,
+}
+
+
+@st.composite
+def unary(draw, column="x"):
+    kind = draw(st.sampled_from(["lt", "le", "gt", "ge", "eq", "in"]))
+    if kind == "in":
+        values = draw(st.lists(st.integers(0, 20), min_size=1, max_size=4))
+        return column_in(column, sorted(set(values)))
+    value = draw(st.integers(0, 20))
+    return _BUILDERS[kind](column, value)
+
+
+@st.composite
+def query_predicates(draw):
+    kind = draw(st.sampled_from(["unary", "and", "or"]))
+    if kind == "unary":
+        return draw(unary())
+    children = draw(st.lists(unary(), min_size=2, max_size=3))
+    return conjunction(children) if kind == "and" else disjunction(children)
+
+
+_GRID = {"x": np.arange(-5, 27).astype(np.float64)}
+
+
+class TestSubsumptionSoundness:
+    @given(unary(), unary())
+    @settings(max_examples=300)
+    def test_unary_implies_sound(self, p, f):
+        """unary_implies(p, f) -> rows(p) subset of rows(f)."""
+        if unary_implies(p, f):
+            pm = p.evaluate(_GRID)
+            fm = f.evaluate(_GRID)
+            assert not (pm & ~fm).any(), (p, f)
+
+    @given(query_predicates(), unary())
+    @settings(max_examples=300)
+    def test_implies_sound(self, q, f):
+        """implies(q, f) -> rows(q) subset of rows(f)."""
+        if implies(q, f):
+            qm = q.evaluate(_GRID)
+            fm = f.evaluate(_GRID)
+            assert not (qm & ~fm).any(), (q, f)
+
+    @given(unary())
+    @settings(max_examples=100)
+    def test_implies_reflexive(self, p):
+        assert implies(p, p)
+
+    @given(unary(), unary(), unary())
+    @settings(max_examples=200)
+    def test_implies_transitive_on_unaries(self, a, b, c):
+        if unary_implies(a, b) and unary_implies(b, c):
+            assert unary_implies(a, c), (a, b, c)

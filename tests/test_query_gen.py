@@ -1,0 +1,101 @@
+"""Unit tests for repro.workloads.query_gen."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.query_gen import (
+    QueryTemplate,
+    anchored_query,
+    generate_workload,
+    random_in_query,
+    random_range_query,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRandomRangeQuery:
+    def test_selectivity_roughly_respected(self, mixed_schema, mixed_table, rng):
+        sels = []
+        for _ in range(30):
+            q = random_range_query(mixed_schema, "age", rng, selectivity=0.2)
+            sels.append(q.predicate.evaluate(mixed_table.columns()).mean())
+        assert 0.1 < np.mean(sels) < 0.3
+
+    def test_requires_numeric_with_domain(self, mixed_schema, rng):
+        with pytest.raises(ValueError):
+            random_range_query(mixed_schema, "city", rng)
+
+    def test_template_name(self, mixed_schema, rng):
+        q = random_range_query(mixed_schema, "age", rng)
+        assert q.template == "range-age"
+
+
+class TestRandomInQuery:
+    def test_in_values_within_domain(self, mixed_schema, rng):
+        q = random_in_query(mixed_schema, "city", rng, num_values=2)
+        assert all(0 <= v < 4 for v in q.predicate.values)
+
+    def test_clamps_to_domain_size(self, mixed_schema, rng):
+        q = random_in_query(mixed_schema, "level", rng, num_values=50)
+        assert len(q.predicate.values) == 3
+
+    def test_requires_categorical(self, mixed_schema, rng):
+        with pytest.raises(ValueError):
+            random_in_query(mixed_schema, "age", rng)
+
+
+class TestAnchoredQuery:
+    def test_always_nonempty(self, mixed_table, rng):
+        for _ in range(20):
+            q = anchored_query(mixed_table, ["age", "city"], rng)
+            assert q.predicate.evaluate(mixed_table.columns()).sum() >= 1
+
+    def test_needle_is_selective(self, mixed_table, rng):
+        sels = []
+        for _ in range(20):
+            q = anchored_query(
+                mixed_table, ["age", "salary", "city", "level"], rng,
+                numeric_half_width=0.01,
+            )
+            sels.append(q.predicate.evaluate(mixed_table.columns()).mean())
+        assert np.mean(sels) < 0.02
+
+    def test_empty_table_raises(self, mixed_schema, rng):
+        from repro.storage import Table
+
+        with pytest.raises(ValueError):
+            anchored_query(Table.empty(mixed_schema), ["age"], rng)
+
+
+class TestTemplates:
+    def test_generate_workload(self, mixed_schema):
+        templates = [
+            QueryTemplate(
+                "ages",
+                lambda rng: random_range_query(mixed_schema, "age", rng),
+            ),
+            QueryTemplate(
+                "cities",
+                lambda rng: random_in_query(mixed_schema, "city", rng),
+            ),
+        ]
+        wl = generate_workload(templates, instances_per_template=4, seed=1)
+        assert len(wl) == 8
+        assert wl.templates() == ["ages", "cities"]
+        names = [q.name for q in wl]
+        assert "ages#0" in names and "cities#3" in names
+
+    def test_seed_reproducible(self, mixed_schema):
+        templates = [
+            QueryTemplate(
+                "ages",
+                lambda rng: random_range_query(mixed_schema, "age", rng),
+            )
+        ]
+        a = generate_workload(templates, 3, seed=5)
+        b = generate_workload(templates, 3, seed=5)
+        assert [repr(q.predicate) for q in a] == [repr(q.predicate) for q in b]

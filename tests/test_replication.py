@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.replication (Sec. 6.3 two-tree)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CutRegistry,
+    GreedyConfig,
+    Query,
+    Workload,
+    build_greedy_tree,
+    build_two_tree_layout,
+    combined_accessed,
+    column_ge,
+    column_lt,
+    conjunction,
+    leaf_sizes,
+    per_query_accessed,
+)
+from repro.storage import Schema, Table, numeric
+
+
+@pytest.fixture
+def contention():
+    """Two query families on different columns, tight block budget."""
+    rng = np.random.default_rng(2)
+    n = 10_000
+    schema = Schema([numeric("x", (0.0, 100.0)), numeric("y", (0.0, 100.0))])
+    table = Table(
+        schema,
+        {"x": rng.uniform(0, 100, n), "y": rng.uniform(0, 100, n)},
+    )
+    queries = []
+    for i in range(3):
+        lo = 15.0 * i
+        queries.append(
+            Query(
+                conjunction([column_ge("x", lo), column_lt("x", lo + 8)]),
+                name=f"x{i}",
+            )
+        )
+        queries.append(
+            Query(
+                conjunction([column_ge("y", lo), column_lt("y", lo + 8)]),
+                name=f"y{i}",
+            )
+        )
+    workload = Workload(queries)
+    registry = CutRegistry.from_workload(schema, workload)
+    b = n // 5
+
+    def builder(wl):
+        return build_greedy_tree(
+            schema, registry, table, wl, GreedyConfig(b)
+        )
+
+    return schema, table, workload, builder
+
+
+class TestCombinedAccessed:
+    def test_choice_picks_minimum(self, contention):
+        _, table, workload, builder = contention
+        t1 = builder(workload)
+        t2 = builder(Workload([workload[1], workload[3], workload[5]]))
+        choice, best = combined_accessed([t1, t2], workload, table)
+        s1 = leaf_sizes(t1, table)
+        s2 = leaf_sizes(t2, table)
+        a1 = per_query_accessed(t1, workload, s1)
+        a2 = per_query_accessed(t2, workload, s2)
+        np.testing.assert_array_equal(best, np.minimum(a1, a2))
+        np.testing.assert_array_equal(choice, (a2 < a1).astype(int))
+
+    def test_single_tree_degenerate(self, contention):
+        _, table, workload, builder = contention
+        t1 = builder(workload)
+        choice, best = combined_accessed([t1], workload, table)
+        assert (choice == 0).all()
+
+
+class TestTwoTreeLayout:
+    def test_never_worse_than_single_tree(self, contention):
+        _, table, workload, builder = contention
+        single = builder(workload)
+        sizes = leaf_sizes(single, table)
+        single_total = int(per_query_accessed(single, workload, sizes).sum())
+        layout = build_two_tree_layout(builder, workload, table)
+        assert layout.total_accessed <= single_total
+
+    def test_improves_under_contention(self, contention):
+        _, table, workload, builder = contention
+        single = builder(workload)
+        sizes = leaf_sizes(single, table)
+        single_total = int(per_query_accessed(single, workload, sizes).sum())
+        layout = build_two_tree_layout(builder, workload, table)
+        assert layout.total_accessed < single_total
+
+    def test_both_trees_used(self, contention):
+        _, table, workload, builder = contention
+        layout = build_two_tree_layout(builder, workload, table)
+        assert set(np.unique(layout.choice)) == {0, 1}
+
+    def test_tree_for_query(self, contention):
+        _, table, workload, builder = contention
+        layout = build_two_tree_layout(builder, workload, table)
+        for qi in range(len(workload)):
+            assert layout.tree_for_query(qi) is layout.trees[layout.choice[qi]]
+
+    def test_refinement_rounds_monotone(self, contention):
+        _, table, workload, builder = contention
+        base = build_two_tree_layout(
+            builder, workload, table, refinement_rounds=0
+        )
+        refined = build_two_tree_layout(
+            builder, workload, table, refinement_rounds=3
+        )
+        assert refined.total_accessed <= base.total_accessed
+
+    def test_bad_worst_fraction_rejected(self, contention):
+        _, table, workload, builder = contention
+        with pytest.raises(ValueError):
+            build_two_tree_layout(
+                builder, workload, table, worst_fraction=0.0
+            )

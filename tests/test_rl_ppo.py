@@ -1,0 +1,152 @@
+"""Unit tests for repro.rl.ppo."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    PPOConfig,
+    PPOTrainer,
+    PolicyValueNet,
+    masked_log_softmax,
+    masked_sample,
+)
+
+
+class TestMaskedLogSoftmax:
+    def test_legal_probs_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0, 4.0]])
+        masks = np.array([[True, False, True, True]])
+        lp = masked_log_softmax(logits, masks)
+        probs = np.exp(lp[masks.nonzero()[0][0]][masks[0]])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_illegal_actions_negligible(self):
+        logits = np.array([[10.0, 0.0]])
+        masks = np.array([[False, True]])
+        lp = masked_log_softmax(logits, masks)
+        assert lp[0, 0] < -1e8
+        assert lp[0, 1] == pytest.approx(0.0)
+
+    def test_matches_plain_softmax_when_all_legal(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        masks = np.ones((4, 5), dtype=bool)
+        lp = masked_log_softmax(logits, masks)
+        expected = logits - np.log(
+            np.exp(logits - logits.max(axis=1, keepdims=True)).sum(
+                axis=1, keepdims=True
+            )
+        ) - logits.max(axis=1, keepdims=True)
+        np.testing.assert_allclose(lp, expected, atol=1e-10)
+
+    def test_no_nans_with_extreme_logits(self):
+        logits = np.array([[1e8, -1e8, 0.0]])
+        masks = np.array([[True, True, True]])
+        lp = masked_log_softmax(logits, masks)
+        assert np.isfinite(lp[0, 0])
+
+
+class TestMaskedSample:
+    def test_never_samples_illegal(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([5.0, 1.0, 1.0])
+        mask = np.array([False, True, True])
+        for _ in range(50):
+            action, lp = masked_sample(logits, mask, rng)
+            assert action in (1, 2)
+            assert lp <= 0
+
+    def test_prefers_high_logits(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([10.0, 0.0])
+        mask = np.array([True, True])
+        actions = [masked_sample(logits, mask, rng)[0] for _ in range(100)]
+        assert sum(a == 0 for a in actions) > 90
+
+
+class TestPPOTrainer:
+    def make_batch(self, net, n=64, seed=0):
+        rng = np.random.default_rng(seed)
+        states = rng.normal(size=(n, net.input_dim))
+        masks = np.ones((n, net.num_actions), dtype=bool)
+        logits, values = net.forward(states)
+        lp = masked_log_softmax(logits, masks)
+        actions = np.array(
+            [masked_sample(logits[i], masks[i], rng)[0] for i in range(n)]
+        )
+        old_lp = lp[np.arange(n), actions]
+        # Reward action 0, punish the others.
+        rewards = (actions == 0).astype(float)
+        return states, actions, masks, old_lp, rewards, values, rng
+
+    def test_update_returns_stats(self):
+        net = PolicyValueNet(4, 3, hidden_dim=16, seed=0)
+        trainer = PPOTrainer(net, PPOConfig(epochs=2, minibatch_size=32))
+        batch = self.make_batch(net)
+        stats = trainer.update(*batch)
+        assert set(stats) >= {"policy_loss", "value_loss", "entropy"}
+        assert stats["updates"] > 0
+
+    def test_policy_shifts_toward_reward(self):
+        net = PolicyValueNet(4, 3, hidden_dim=16, seed=1)
+        trainer = PPOTrainer(
+            net, PPOConfig(learning_rate=5e-3, epochs=4, minibatch_size=64)
+        )
+        rng = np.random.default_rng(0)
+        probe = rng.normal(size=(32, 4))
+        masks = np.ones((32, 3), dtype=bool)
+
+        def mean_p0() -> float:
+            logits, _ = net.forward(probe)
+            lp = masked_log_softmax(logits, masks)
+            return float(np.exp(lp[:, 0]).mean())
+
+        before = mean_p0()
+        for seed in range(12):
+            batch = self.make_batch(net, seed=seed)
+            trainer.update(*batch)
+        after = mean_p0()
+        assert after > before
+
+    def test_value_head_learns_rewards(self):
+        net = PolicyValueNet(4, 3, hidden_dim=16, seed=2)
+        trainer = PPOTrainer(
+            net, PPOConfig(learning_rate=5e-3, epochs=4, value_coef=1.0)
+        )
+        rng = np.random.default_rng(1)
+        states = rng.normal(size=(128, 4))
+        masks = np.ones((128, 3), dtype=bool)
+        rewards = np.full(128, 0.7)
+        for _ in range(20):
+            logits, values = net.forward(states)
+            lp = masked_log_softmax(logits, masks)
+            actions = np.zeros(128, dtype=np.int64)
+            old_lp = lp[:, 0]
+            trainer.update(states, actions, masks, old_lp, rewards, values, rng)
+        _, values = net.forward(states)
+        assert abs(values.mean() - 0.7) < 0.2
+
+    def test_gradient_clipping_bounds_norm(self):
+        net = PolicyValueNet(4, 3, hidden_dim=16, seed=3)
+        config = PPOConfig(max_grad_norm=0.001)
+        trainer = PPOTrainer(net, config)
+        batch = self.make_batch(net, seed=5)
+        trainer.update(*batch)
+        total = sum(float((g**2).sum()) for _, g in net.parameters())
+        assert np.sqrt(total) <= config.max_grad_norm * 1.01
+
+    def test_single_sample_batch(self):
+        """Degenerate batches must not crash (advantage normalization)."""
+        net = PolicyValueNet(4, 3, hidden_dim=8, seed=4)
+        trainer = PPOTrainer(net)
+        rng = np.random.default_rng(0)
+        stats = trainer.update(
+            np.ones((1, 4)),
+            np.array([0]),
+            np.ones((1, 3), dtype=bool),
+            np.array([-1.0]),
+            np.array([0.5]),
+            np.array([0.0]),
+            rng,
+        )
+        assert np.isfinite(stats["policy_loss"])

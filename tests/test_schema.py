@@ -1,0 +1,140 @@
+"""Unit tests for repro.storage.schema."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    Column,
+    ColumnKind,
+    Dictionary,
+    Schema,
+    SchemaError,
+)
+from repro.storage.schema import categorical, numeric
+
+
+class TestDictionary:
+    def test_add_assigns_dense_codes(self):
+        d = Dictionary()
+        assert d.add("a") == 0
+        assert d.add("b") == 1
+        assert d.add("a") == 0  # idempotent
+        assert len(d) == 2
+
+    def test_encode_decode_roundtrip(self):
+        d = Dictionary(["x", "y", "z"])
+        for value in ("x", "y", "z"):
+            assert d.decode(d.encode(value)) == value
+
+    def test_encode_unknown_raises(self):
+        d = Dictionary(["x"])
+        with pytest.raises(KeyError):
+            d.encode("nope")
+
+    def test_encode_many(self):
+        d = Dictionary(["a", "b"])
+        out = d.encode_many(["b", "a", "b"])
+        assert out.tolist() == [1, 0, 1]
+        assert out.dtype == np.int64
+
+    def test_contains_and_iter(self):
+        d = Dictionary(["a", "b"])
+        assert "a" in d and "c" not in d
+        assert list(d) == ["a", "b"]
+
+    def test_values_ordered_by_code(self):
+        d = Dictionary()
+        d.add("z")
+        d.add("a")
+        assert d.values() == ("z", "a")
+
+    def test_non_string_values(self):
+        d = Dictionary([10, 20, True])
+        assert d.encode(20) == 1
+
+
+class TestColumn:
+    def test_numeric_column(self):
+        c = numeric("x", (0, 10))
+        assert c.is_numeric and not c.is_categorical
+        assert c.encode(3) == 3.0
+        assert c.decode(3.0) == 3.0
+
+    def test_categorical_column(self):
+        c = categorical("c", ["lo", "hi"])
+        assert c.is_categorical
+        assert c.domain_size == 2
+        assert c.encode("hi") == 1
+        assert c.decode(1) == "hi"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnKind.NUMERIC)
+
+    def test_inverted_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            numeric("x", (10, 0))
+
+    def test_domain_size_on_numeric_raises(self):
+        with pytest.raises(SchemaError):
+            _ = numeric("x").domain_size
+
+    def test_categorical_gets_dictionary_lazily(self):
+        c = Column("c", ColumnKind.CATEGORICAL)
+        assert c.dictionary is not None
+        assert len(c.dictionary) == 0
+
+
+class TestSchema:
+    def test_lookup_by_name(self, mixed_schema):
+        assert mixed_schema["age"].name == "age"
+        assert "city" in mixed_schema
+        assert "nope" not in mixed_schema
+
+    def test_unknown_column_raises(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([numeric("x"), numeric("x")])
+
+    def test_position(self, mixed_schema):
+        assert mixed_schema.position("age") == 0
+        assert mixed_schema.position("level") == 3
+        with pytest.raises(SchemaError):
+            mixed_schema.position("nope")
+
+    def test_partitions_by_kind(self, mixed_schema):
+        assert [c.name for c in mixed_schema.numeric_columns] == ["age", "salary"]
+        assert [c.name for c in mixed_schema.categorical_columns] == [
+            "city",
+            "level",
+        ]
+
+    def test_encode_literal(self, mixed_schema):
+        assert mixed_schema.encode_literal("city", "nyc") == 0
+        assert mixed_schema.encode_literal("age", 42) == 42.0
+
+    def test_encode_literals(self, mixed_schema):
+        assert mixed_schema.encode_literals("city", ["sf", "aus"]) == (1, 3)
+
+    def test_equality_by_column_names(self, mixed_schema):
+        other = Schema(
+            [
+                numeric("age"),
+                numeric("salary"),
+                categorical("city"),
+                categorical("level"),
+            ]
+        )
+        assert mixed_schema == other
+
+    def test_len_and_iter(self, mixed_schema):
+        assert len(mixed_schema) == 4
+        assert [c.name for c in mixed_schema] == [
+            "age",
+            "salary",
+            "city",
+            "level",
+        ]

@@ -1,0 +1,246 @@
+"""Unit tests for repro.sql (lexer, parser, planner)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvancedCut,
+    And,
+    ColumnPredicate,
+    Not,
+    Op,
+    Or,
+    column_eq,
+    column_ge,
+    column_in,
+    column_le,
+    column_lt,
+)
+from repro.sql import (
+    SqlPlanner,
+    SqlSyntaxError,
+    TokenType,
+    like_to_regex,
+    parse_predicate,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("a < 10 AND b = 'x'")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.IDENT,
+            TokenType.OPERATOR,
+            TokenType.NUMBER,
+            TokenType.KEYWORD,
+            TokenType.IDENT,
+            TokenType.OPERATOR,
+            TokenType.STRING,
+            TokenType.END,
+        ]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= 1 b >= 2 c <> 3")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<=", ">=", "<>"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("name = 'O''Brien'")
+        assert tokens[2].value == "O'Brien"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a = 'oops")
+
+    def test_negative_and_scientific_numbers(self):
+        tokens = tokenize("x < -1.5 AND y > 2e3")
+        nums = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert nums == ["-1.5", "2e3"]
+
+    def test_qualified_identifier(self):
+        tokens = tokenize("R.a < 10")
+        assert tokens[0].value == "R.a"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("a in (1) and b like 'x'")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keywords == ["IN", "AND", "LIKE"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ; b")
+
+
+class TestParser:
+    def test_simple_comparison(self, mixed_schema):
+        pred = parse_predicate("age < 30", mixed_schema)
+        assert pred == column_lt("age", 30)
+
+    def test_flipped_comparison(self, mixed_schema):
+        pred = parse_predicate("30 > age", mixed_schema)
+        assert pred == column_lt("age", 30)
+
+    def test_qualified_column(self, mixed_schema):
+        pred = parse_predicate("t.age >= 18", mixed_schema)
+        assert pred == column_ge("age", 18)
+
+    def test_string_literal_encoded(self, mixed_schema):
+        pred = parse_predicate("city = 'sf'", mixed_schema)
+        assert pred == column_eq("city", 1)
+
+    def test_unknown_literal_raises(self, mixed_schema):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("city = 'tokyo'", mixed_schema)
+
+    def test_unknown_column_raises(self, mixed_schema):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("bogus < 1", mixed_schema)
+
+    def test_in_list(self, mixed_schema):
+        pred = parse_predicate("city IN ('sf', 'nyc')", mixed_schema)
+        assert pred == column_in("city", [1, 0])
+
+    def test_not_in(self, mixed_schema):
+        pred = parse_predicate("city NOT IN ('sf')", mixed_schema)
+        assert isinstance(pred, Not)
+
+    def test_between(self, mixed_schema):
+        pred = parse_predicate("age BETWEEN 20 AND 30", mixed_schema)
+        assert isinstance(pred, And)
+        assert column_ge("age", 20) in pred.children
+        assert column_le("age", 30) in pred.children
+
+    def test_and_or_precedence(self, mixed_schema):
+        pred = parse_predicate(
+            "age < 10 OR age > 90 AND city = 'sf'", mixed_schema
+        )
+        # AND binds tighter: OR(age<10, AND(age>90, city=sf)).
+        assert isinstance(pred, Or)
+        assert pred.children[0] == column_lt("age", 10)
+        assert isinstance(pred.children[1], And)
+
+    def test_parentheses_override(self, mixed_schema):
+        pred = parse_predicate(
+            "(age < 10 OR age > 90) AND city = 'sf'", mixed_schema
+        )
+        assert isinstance(pred, And)
+        assert isinstance(pred.children[0], Or)
+
+    def test_not_operator(self, mixed_schema):
+        pred = parse_predicate("NOT age < 30", mixed_schema)
+        assert pred == column_ge("age", 30)
+
+    def test_neq_operator(self, mixed_schema):
+        pred = parse_predicate("city <> 'sf'", mixed_schema)
+        assert isinstance(pred, Not)
+
+    def test_range_op_on_categorical_raises(self, mixed_schema):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("city > 'sf'", mixed_schema)
+
+    def test_trailing_garbage_raises(self, mixed_schema):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("age < 30 age", mixed_schema)
+
+    def test_binary_comparison_becomes_advanced_cut(self, mixed_schema):
+        registry = {}
+        pred = parse_predicate(
+            "age > salary", mixed_schema, advanced_registry=registry
+        )
+        assert isinstance(pred, AdvancedCut)
+        assert pred.index == 0
+        data = {"age": np.array([10.0, 90.0]), "salary": np.array([50.0, 50.0])}
+        assert pred.evaluate(data).tolist() == [False, True]
+
+    def test_same_binary_comparison_shares_slot(self, mixed_schema):
+        registry = {}
+        p1 = parse_predicate("age > salary", mixed_schema, registry)
+        p2 = parse_predicate("age > salary", mixed_schema, registry)
+        assert p1.index == p2.index
+        p3 = parse_predicate("salary > age", mixed_schema, registry)
+        assert p3.index != p1.index
+
+    def test_evaluation_matches_numpy(self, mixed_schema, mixed_table):
+        pred = parse_predicate(
+            "(age < 25 OR age >= 75) AND city IN ('sf','aus')", mixed_schema
+        )
+        age = mixed_table.column("age")
+        city = mixed_table.column("city")
+        expected = ((age < 25) | (age >= 75)) & np.isin(city, [1, 3])
+        np.testing.assert_array_equal(
+            pred.evaluate(mixed_table.columns()), expected
+        )
+
+
+class TestLike:
+    def test_like_regex(self):
+        regex = like_to_regex("ab%c_")
+        assert regex.match("abXYZcQ")
+        assert not regex.match("abXYZc")
+
+    def test_like_compiles_to_in(self, mixed_schema):
+        pred = parse_predicate("city LIKE 's%'", mixed_schema)
+        assert pred == column_in("city", [1, 2])  # sf, sea
+
+    def test_like_no_match_is_contradiction(self, mixed_schema, mixed_table):
+        pred = parse_predicate("city LIKE 'zzz%'", mixed_schema)
+        assert not pred.evaluate(mixed_table.columns()).any()
+
+    def test_like_on_numeric_raises(self, mixed_schema):
+        with pytest.raises(SqlSyntaxError):
+            parse_predicate("age LIKE '1%'", mixed_schema)
+
+    def test_not_like(self, mixed_schema, mixed_table):
+        pred = parse_predicate("city NOT LIKE 's%'", mixed_schema)
+        city = mixed_table.column("city")
+        np.testing.assert_array_equal(
+            pred.evaluate(mixed_table.columns()), ~np.isin(city, [1, 2])
+        )
+
+
+class TestPlanner:
+    def test_plan_extracts_projection(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        planned = planner.plan(
+            "SELECT age, salary FROM t WHERE age < 30"
+        )
+        assert planned.projection == ("age", "salary")
+        assert planned.table_name == "t"
+
+    def test_plan_star_projection(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        planned = planner.plan("SELECT * FROM t WHERE age < 30")
+        assert planned.projection == mixed_schema.column_names
+
+    def test_plan_unknown_projection_raises(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        with pytest.raises(SqlSyntaxError):
+            planner.plan("SELECT bogus FROM t WHERE age < 30")
+
+    def test_plan_requires_where(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        with pytest.raises(SqlSyntaxError):
+            planner.plan("SELECT age FROM t")
+
+    def test_plan_workload_and_cuts(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        wl = planner.plan_workload(
+            [
+                "SELECT age FROM t WHERE age < 30 AND city = 'sf'",
+                "SELECT age FROM t WHERE age < 30 OR salary > age",
+            ]
+        )
+        assert len(wl) == 2
+        registry = planner.candidate_cuts(wl)
+        # age<30 dedups; city=sf; salary>age advanced cut.
+        assert len(registry) == 3
+        assert registry.num_advanced_cuts == 1
+
+    def test_template_names(self, mixed_schema):
+        planner = SqlPlanner(mixed_schema)
+        wl = planner.plan_workload(
+            ["SELECT age FROM t WHERE age < 30"], template_names=["t1"]
+        )
+        assert wl[0].template == "t1"

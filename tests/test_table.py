@@ -1,0 +1,123 @@
+"""Unit tests for repro.storage.table."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Schema, SchemaError, Table, categorical, numeric
+
+
+class TestConstruction:
+    def test_missing_column_rejected(self, two_col_schema):
+        with pytest.raises(SchemaError):
+            Table(two_col_schema, {"cpu": np.zeros(3)})
+
+    def test_extra_column_rejected(self, two_col_schema):
+        with pytest.raises(SchemaError):
+            Table(
+                two_col_schema,
+                {"cpu": np.zeros(3), "disk": np.zeros(3), "x": np.zeros(3)},
+            )
+
+    def test_length_mismatch_rejected(self, two_col_schema):
+        with pytest.raises(SchemaError):
+            Table(two_col_schema, {"cpu": np.zeros(3), "disk": np.zeros(4)})
+
+    def test_2d_array_rejected(self, two_col_schema):
+        with pytest.raises(SchemaError):
+            Table(
+                two_col_schema,
+                {"cpu": np.zeros((3, 2)), "disk": np.zeros(3)},
+            )
+
+    def test_from_raw_encodes_categoricals(self):
+        schema = Schema([numeric("x"), categorical("c")])
+        t = Table.from_raw(schema, {"x": [1, 2], "c": ["b", "a"]})
+        assert t.column("c").tolist() == [0, 1]
+        assert schema["c"].dictionary.decode(0) == "b"
+
+    def test_empty(self, mixed_schema):
+        t = Table.empty(mixed_schema)
+        assert t.num_rows == 0
+
+
+class TestAccess:
+    def test_column_unknown_raises(self, two_col_table):
+        with pytest.raises(SchemaError):
+            two_col_table.column("nope")
+
+    def test_getitem(self, two_col_table):
+        assert len(two_col_table["cpu"]) == 5000
+
+    def test_row_decodes(self):
+        schema = Schema([numeric("x"), categorical("c")])
+        t = Table.from_raw(schema, {"x": [1.5], "c": ["hello"]})
+        assert t.row(0) == {"x": 1.5, "c": "hello"}
+
+    def test_iter_rows(self):
+        schema = Schema([numeric("x")])
+        t = Table(schema, {"x": np.array([1.0, 2.0])})
+        assert [r["x"] for r in t.iter_rows()] == [1.0, 2.0]
+
+    def test_min_max(self, two_col_table):
+        lo, hi = two_col_table.min_max("cpu")
+        assert 0 <= lo < hi <= 100
+
+    def test_min_max_empty_raises(self, mixed_schema):
+        with pytest.raises(ValueError):
+            Table.empty(mixed_schema).min_max("age")
+
+    def test_distinct_codes(self):
+        schema = Schema([categorical("c", ["a", "b", "c"])])
+        t = Table(schema, {"c": np.array([2, 0, 2, 0])})
+        assert t.distinct_codes("c").tolist() == [0, 2]
+
+    def test_nbytes_positive(self, two_col_table):
+        assert two_col_table.nbytes() > 0
+
+
+class TestOperations:
+    def test_take_preserves_order(self, two_col_table):
+        sub = two_col_table.take(np.array([10, 3, 10]))
+        assert sub.num_rows == 3
+        assert sub.column("cpu")[0] == two_col_table.column("cpu")[10]
+        assert sub.column("cpu")[1] == two_col_table.column("cpu")[3]
+
+    def test_filter(self, two_col_table):
+        mask = two_col_table.column("cpu") < 50
+        sub = two_col_table.filter(mask)
+        assert sub.num_rows == int(mask.sum())
+        assert (sub.column("cpu") < 50).all()
+
+    def test_filter_length_mismatch_raises(self, two_col_table):
+        with pytest.raises(SchemaError):
+            two_col_table.filter(np.ones(3, dtype=bool))
+
+    def test_slice(self, two_col_table):
+        sub = two_col_table.slice(100, 200)
+        assert sub.num_rows == 100
+        assert sub.column("disk")[0] == two_col_table.column("disk")[100]
+
+    def test_sample_size(self, two_col_table):
+        rng = np.random.default_rng(0)
+        s = two_col_table.sample(0.1, rng)
+        assert s.num_rows == 500
+
+    def test_sample_at_least_one_row(self, two_col_table):
+        rng = np.random.default_rng(0)
+        s = two_col_table.sample(1e-9, rng)
+        assert s.num_rows == 1
+
+    def test_sample_bad_ratio_raises(self, two_col_table):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            two_col_table.sample(0.0, rng)
+        with pytest.raises(ValueError):
+            two_col_table.sample(1.5, rng)
+
+    def test_concat(self, two_col_table):
+        both = two_col_table.concat(two_col_table)
+        assert both.num_rows == 2 * two_col_table.num_rows
+
+    def test_concat_schema_mismatch_raises(self, two_col_table, mixed_table):
+        with pytest.raises(SchemaError):
+            two_col_table.concat(mixed_table)

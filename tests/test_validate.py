@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.validate."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CutRegistry,
+    GreedyConfig,
+    QdTree,
+    build_greedy_tree,
+    column_lt,
+    validate_layout,
+)
+from repro.core.hypercube import Interval
+
+
+class TestValidateLayout:
+    def test_greedy_layout_is_valid(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        registry = CutRegistry.from_workload(mixed_schema, mixed_workload)
+        tree = build_greedy_tree(
+            mixed_schema, registry, mixed_table, mixed_workload,
+            GreedyConfig(100),
+        )
+        report = validate_layout(
+            tree, mixed_table, min_block_size=100, workload=mixed_workload
+        )
+        assert report.ok
+        report.raise_if_invalid()  # should not raise
+
+    def test_singleton_tree_valid(self, mixed_schema, mixed_table):
+        tree = QdTree(mixed_schema)
+        report = validate_layout(tree, mixed_table)
+        assert report.ok
+
+    def test_detects_min_size_violation(self, mixed_schema, mixed_table):
+        reg = CutRegistry(mixed_schema)
+        reg.add(column_lt("age", 2))  # tiny left leaf
+        tree = QdTree(mixed_schema, reg)
+        tree.apply_cut(tree.root, column_lt("age", 2))
+        report = validate_layout(tree, mixed_table, min_block_size=500)
+        assert not report.meets_min_block_size
+        assert not report.ok
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+    def test_detects_completeness_violation(self, mixed_schema, mixed_table):
+        reg = CutRegistry(mixed_schema)
+        reg.add(column_lt("age", 50))
+        tree = QdTree(mixed_schema, reg)
+        left, _ = tree.apply_cut(tree.root, column_lt("age", 50))
+        # Corrupt the leaf description: claim a narrower range than the
+        # rows actually routed there.
+        left.description.hypercube = left.description.hypercube.with_interval(
+            "age", Interval(0, 10)
+        )
+        report = validate_layout(tree, mixed_table)
+        assert not report.is_complete
+        assert any("incomplete" in v for v in report.violations)
+
+    def test_detects_routing_unsoundness(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        reg = CutRegistry(mixed_schema)
+        reg.add(column_lt("age", 50))
+        tree = QdTree(mixed_schema, reg)
+        left, _ = tree.apply_cut(tree.root, column_lt("age", 50))
+        tree.assign_block_ids()
+        # Corrupting the description after routing makes query routing
+        # skip a block that still holds matching rows.
+        left.description.hypercube = left.description.hypercube.with_interval(
+            "age", Interval(45, 49)
+        )
+        report = validate_layout(tree, mixed_table, workload=mixed_workload)
+        assert not report.routing_sound or not report.is_complete
+
+    def test_max_queries_limits_work(
+        self, mixed_schema, mixed_table, mixed_workload
+    ):
+        tree = QdTree(mixed_schema)
+        report = validate_layout(
+            tree, mixed_table, workload=mixed_workload, max_queries=1
+        )
+        assert report.ok

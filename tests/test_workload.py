@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import Query, Workload, column_ge, column_lt
+
+
+class TestQuery:
+    def test_scan_columns_explicit(self):
+        q = Query(column_lt("age", 30), columns=("age", "salary"))
+        assert q.scan_columns() == ("age", "salary")
+
+    def test_scan_columns_fallback_to_predicate(self):
+        q = Query(column_lt("age", 30))
+        assert q.scan_columns() == ("age",)
+
+    def test_repr_uses_name(self):
+        q = Query(column_lt("age", 30), name="young")
+        assert "young" in repr(q)
+
+
+class TestWorkload:
+    def test_len_iter_getitem(self, mixed_workload):
+        assert len(mixed_workload) == 3
+        assert mixed_workload[0].name == "age-band"
+        assert [q.name for q in mixed_workload] == [
+            "age-band",
+            "sf",
+            "senior-high",
+        ]
+
+    def test_templates_order(self, mixed_workload):
+        assert mixed_workload.templates() == ["age", "city", "comp"]
+
+    def test_by_template(self, mixed_workload):
+        groups = mixed_workload.by_template()
+        assert set(groups) == {"age", "city", "comp"}
+        assert len(groups["age"]) == 1
+
+    def test_selectivity_matches_manual(self, mixed_workload, mixed_table):
+        sel = mixed_workload.selectivity(mixed_table)
+        counts = mixed_workload.selected_counts(mixed_table)
+        expected = counts.sum() / (3 * mixed_table.num_rows)
+        assert sel == pytest.approx(expected)
+
+    def test_selectivity_empty_workload(self, mixed_table):
+        assert Workload([]).selectivity(mixed_table) == 0.0
+
+    def test_selected_counts_nonnegative(self, mixed_workload, mixed_table):
+        counts = mixed_workload.selected_counts(mixed_table)
+        assert (counts >= 0).all()
+        assert counts.dtype == np.int64
+
+    def test_split_partitions_queries(self, mixed_workload):
+        rng = np.random.default_rng(0)
+        train, test = mixed_workload.split(0.5, rng)
+        assert len(train) + len(test) == len(mixed_workload)
+        names = {q.name for q in train} | {q.name for q in test}
+        assert names == {q.name for q in mixed_workload}
+
+    def test_split_bad_fraction(self, mixed_workload):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mixed_workload.split(0.0, rng)
+        with pytest.raises(ValueError):
+            mixed_workload.split(1.0, rng)
+
+    def test_predicates_list(self, mixed_workload):
+        assert len(mixed_workload.predicates()) == 3

@@ -1,0 +1,196 @@
+"""Unit tests for repro.workloads generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    disjunctive_dataset,
+    errorlog_ext_dataset,
+    errorlog_int_dataset,
+    overlap_dataset,
+    tpch_dataset,
+)
+from repro.workloads.tpch import (
+    NATIONS,
+    REGIONS,
+    TPCH_TEMPLATES,
+    advanced_cuts,
+    generate_table,
+    generate_workload,
+)
+
+
+class TestTpchTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_table(num_rows=20_000, seed=0)
+
+    def test_row_count_and_columns(self, table):
+        assert table.num_rows == 20_000
+        assert len(table.schema) == 27
+
+    def test_date_consistency(self, table):
+        """receiptdate follows shipdate; orderdate precedes it."""
+        ship = table.column("l_shipdate")
+        receipt = table.column("l_receiptdate")
+        order = table.column("o_orderdate")
+        assert (receipt > ship).all()
+        assert (order < ship).all()
+
+    def test_nation_region_join_consistent(self, table):
+        """Denormalized cr_name matches c_nationkey's region."""
+        nation_to_region = {
+            i: REGIONS.index(region) for i, (_, region) in enumerate(NATIONS)
+        }
+        c_nation = table.column("c_nationkey").astype(int)
+        cr = table.column("cr_name")
+        expected = np.array([nation_to_region[k] for k in c_nation])
+        np.testing.assert_array_equal(cr, expected)
+
+    def test_nation_name_matches_key(self, table):
+        cn = table.column("cn_name")
+        key = table.column("c_nationkey").astype(int)
+        np.testing.assert_array_equal(cn, key)
+
+    def test_discounts_are_percents(self, table):
+        discounts = np.unique(table.column("l_discount"))
+        assert discounts.min() >= 0.0 and discounts.max() <= 0.10
+        assert len(discounts) == 11
+
+    def test_deterministic_by_seed(self):
+        a = generate_table(1000, seed=3)
+        b = generate_table(1000, seed=3)
+        np.testing.assert_array_equal(
+            a.column("l_shipdate"), b.column("l_shipdate")
+        )
+
+
+class TestTpchWorkload:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return tpch_dataset(num_rows=20_000, seeds_per_template=3, seed=0)
+
+    def test_all_templates_present(self, dataset):
+        assert set(dataset.workload.templates()) == set(TPCH_TEMPLATES)
+
+    def test_instances_per_template(self, dataset):
+        groups = dataset.workload.by_template()
+        assert all(len(v) == 3 for v in groups.values())
+
+    def test_advanced_cuts_registered(self, dataset):
+        registry = dataset.registry()
+        assert registry.num_advanced_cuts == 3
+        names = {c.name for c in registry.advanced_cuts}
+        assert "c_nationkey = s_nationkey" in names
+
+    def test_advanced_cut_evaluation(self, dataset):
+        ac0, ac1, ac2 = advanced_cuts()
+        cols = dataset.table.columns()
+        np.testing.assert_array_equal(
+            ac0.evaluate(cols), cols["c_nationkey"] == cols["s_nationkey"]
+        )
+        np.testing.assert_array_equal(
+            ac2.evaluate(cols), cols["l_commitdate"] < cols["l_receiptdate"]
+        )
+
+    def test_selectivity_in_plausible_band(self, dataset):
+        """Paper reports 21.3%; shape check: between 5% and 40%."""
+        sel = dataset.workload.selectivity(dataset.table)
+        assert 0.05 < sel < 0.40
+
+    def test_scan_all_templates_exist(self, dataset):
+        """q1/q18 instances select most of the partition (paper)."""
+        counts = dataset.workload.selected_counts(dataset.table)
+        by_query = {
+            q.template: c / dataset.table.num_rows
+            for q, c in zip(dataset.workload, counts)
+        }
+        assert by_query["q1"] > 0.7
+        assert by_query["q18"] > 0.7
+
+    def test_some_instances_miss_partition(self, dataset):
+        counts = dataset.workload.selected_counts(dataset.table)
+        assert (counts == 0).sum() > 0
+
+    def test_test_workload_generation(self):
+        ds = tpch_dataset(
+            num_rows=5000, seeds_per_template=2, test_seeds_per_template=3
+        )
+        assert ds.test_workload is not None
+        assert len(ds.test_workload) == 3 * len(TPCH_TEMPLATES)
+
+    def test_workload_reproducible(self, dataset):
+        wl = generate_workload(dataset.schema, seeds_per_template=3, seed=1)
+        assert repr(wl.queries[0].predicate) == repr(
+            dataset.workload.queries[0].predicate
+        )
+
+
+class TestErrorLogInt:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return errorlog_int_dataset(num_rows=30_000, num_queries=200, seed=0)
+
+    def test_shape(self, dataset):
+        assert len(dataset.schema) == 50
+        assert len(dataset.workload) == 200
+
+    def test_event_type_domain(self, dataset):
+        assert dataset.schema["event_type"].domain_size == 8
+
+    def test_tiny_selectivity(self, dataset):
+        sel = dataset.workload.selectivity(dataset.table)
+        assert sel < 0.005  # well under 0.5%
+
+    def test_queries_nonempty(self, dataset):
+        """Seed-row anchoring guarantees at least one matching row."""
+        counts = dataset.workload.selected_counts(dataset.table)
+        assert (counts >= 1).all()
+
+    def test_version_build_date_correlated(self, dataset):
+        version = dataset.table.column("os_version")
+        build = dataset.table.column("os_build_date")
+        # Build dates fall inside the version's 25-day band.
+        assert ((build >= version * 25) & (build < (version + 1) * 25)).all()
+
+
+class TestErrorLogExt:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return errorlog_ext_dataset(
+            num_rows=30_000, num_queries=200, num_apps=500, seed=0
+        )
+
+    def test_shape(self, dataset):
+        assert len(dataset.schema) == 58
+        assert dataset.schema["app_id"].domain_size == 500
+
+    def test_selectivity_higher_than_int(self, dataset):
+        int_ds = errorlog_int_dataset(num_rows=30_000, num_queries=200, seed=0)
+        assert dataset.workload.selectivity(dataset.table) > (
+            int_ds.workload.selectivity(int_ds.table)
+        )
+
+    def test_app_popularity_skewed(self, dataset):
+        apps, counts = np.unique(
+            dataset.table.column("app_id"), return_counts=True
+        )
+        assert counts.max() > 10 * counts.mean()
+
+
+class TestMicrobench:
+    def test_disjunctive_shape(self):
+        ds = disjunctive_dataset(num_rows=5000, seed=0)
+        assert ds.table.num_rows == 5000
+        assert len(ds.workload) == 2
+        assert len(ds.registry()) == 3
+
+    def test_overlap_center_record_shared(self):
+        ds = overlap_dataset(cluster_size=100, seed=0)
+        counts = ds.workload.selected_counts(ds.table)
+        assert counts.tolist() == [101, 101, 101, 101]
+        # The four queries share exactly one row.
+        columns = ds.table.columns()
+        masks = [q.predicate.evaluate(columns) for q in ds.workload]
+        shared = masks[0] & masks[1] & masks[2] & masks[3]
+        assert shared.sum() == 1
