@@ -20,6 +20,9 @@ Subpackages
     Dictionary-encoded tables, columnar blocks, min-max indexes.
 ``repro.engine``
     Scan-oriented execution engine with pluggable cost profiles.
+``repro.serve``
+    Concurrent query serving: thread-pool scheduling, buffer-pool
+    caching, routing memoization, latency/throughput metrics.
 ``repro.baselines``
     Random, range, Bottom-Up (Sun et al.) and k-d tree partitioners.
 ``repro.workloads``
@@ -28,9 +31,9 @@ Subpackages
     Experiment harness and metrics used by the ``benchmarks/`` suite.
 """
 
-from . import baselines, bench, core, engine, rl, sql, storage, workloads
+from . import baselines, bench, core, engine, rl, serve, sql, storage, workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -39,6 +42,7 @@ __all__ = [
     "core",
     "engine",
     "rl",
+    "serve",
     "sql",
     "storage",
     "workloads",

@@ -12,6 +12,11 @@ Subcommands
 ``route``
     Route one SQL query against a saved layout: prints the pruned BID
     list and scan statistics.
+``serve-bench``
+    Replay a SQL workload against a saved layout through the
+    :mod:`repro.serve` serving tier (thread pool + buffer-pool cache)
+    and print the latency/throughput/cache report.  ``--compare`` also
+    runs the serial uncached baseline and prints the QPS speedup.
 
 Example::
 
@@ -19,6 +24,8 @@ Example::
     python -m repro.cli inspect --layout layout/
     python -m repro.cli route  --layout layout/ \
         --sql "SELECT * FROM t WHERE x < 10"
+    python -m repro.cli serve-bench --layout layout/ \
+        --threads 8 --repeat 20 --compare
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from .core.tree import QdTree
 from .engine.executor import ScanEngine
 from .engine.profiles import SPARK_PARQUET
 from .rl.woodblock import Woodblock, WoodblockConfig
+from .serve import LayoutService, run_serial_baseline
 from .sql.planner import SqlPlanner
 from .storage.catalog import load_store, load_table, save_store
 
@@ -119,11 +127,11 @@ def _load_layout(path: Path):
     workload = planner.plan_workload(meta["queries"])
     registry = planner.candidate_cuts(workload)
     tree = QdTree.load(str(path / _TREE_FILE), store.schema, registry)
-    return store, tree, registry, planner
+    return store, tree, registry, planner, meta
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    store, tree, _, _ = _load_layout(Path(args.layout))
+    store, tree, _, _, _ = _load_layout(Path(args.layout))
     print(f"{store.num_blocks} blocks over {store.logical_rows} rows "
           f"(tree depth {tree.depth()})")
     print("\ncut histogram:")
@@ -139,7 +147,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    store, tree, registry, planner = _load_layout(Path(args.layout))
+    store, tree, registry, planner, _ = _load_layout(Path(args.layout))
     planned = planner.plan(args.sql)
     router = QueryRouter(tree)
     routed = router.route(planned.query)
@@ -152,6 +160,53 @@ def _cmd_route(args: argparse.Namespace) -> int:
     print(f"BID IN ({','.join(str(b) for b in routed.block_ids)})")
     print(f"scanned {stats.tuples_scanned} tuples, "
           f"returned {stats.rows_returned} rows")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    # Reuse the planner that planned the build workload so advanced-cut
+    # slot indices stay aligned with the layout's registry.
+    store, tree, registry, planner, meta = _load_layout(Path(args.layout))
+    if args.queries:
+        statements = _read_queries(Path(args.queries))
+    else:
+        statements = meta["queries"]
+    cache_bytes = None if args.no_cache else args.cache_mb * 1024 * 1024
+
+    with LayoutService(
+        store,
+        tree,
+        num_advanced_cuts=registry.num_advanced_cuts,
+        cache_budget_bytes=cache_bytes,
+        max_workers=args.threads,
+        queue_depth=args.queue_depth,
+        planner=planner,
+    ) as service:
+        if args.mode == "open":
+            replay = service.run_open_loop(
+                statements, target_qps=args.target_qps, repeat=args.repeat
+            )
+        else:
+            replay = service.run_closed_loop(statements, repeat=args.repeat)
+        report = service.report()
+    print(
+        f"replayed {replay.completed}/{replay.issued} queries "
+        f"({replay.rejected} rejected) in {replay.wall_seconds:.3f} s "
+        f"-> {replay.qps:.1f} qps"
+    )
+    print(report)
+    if args.compare:
+        base_qps, _ = run_serial_baseline(
+            store,
+            tree,
+            statements,
+            repeat=args.repeat,
+            planner=planner,
+            num_advanced_cuts=registry.num_advanced_cuts,
+        )
+        speedup = replay.qps / base_qps if base_qps > 0 else float("inf")
+        print(f"\nserial uncached baseline: {base_qps:.1f} qps")
+        print(f"serving speedup: {speedup:.2f}x")
     return 0
 
 
@@ -184,6 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument("--layout", required=True)
     p_route.add_argument("--sql", required=True)
     p_route.set_defaults(func=_cmd_route)
+
+    p_serve = sub.add_parser(
+        "serve-bench", help="replay a workload through the serving tier"
+    )
+    p_serve.add_argument("--layout", required=True)
+    p_serve.add_argument("--queries",
+                         help="SQL file to replay (default: the layout's "
+                              "build workload)")
+    p_serve.add_argument("--threads", type=int, default=4)
+    p_serve.add_argument("--repeat", type=int, default=10,
+                         help="times the statement list is replayed")
+    p_serve.add_argument("--cache-mb", type=int, default=64,
+                         help="buffer-pool budget in MiB")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the buffer pool")
+    p_serve.add_argument("--queue-depth", type=int, default=64)
+    p_serve.add_argument("--mode", choices=("closed", "open"),
+                         default="closed")
+    p_serve.add_argument("--target-qps", type=float, default=1000.0,
+                         help="arrival rate for --mode open")
+    p_serve.add_argument("--compare", action="store_true",
+                         help="also run the serial uncached baseline "
+                              "and print the speedup")
+    p_serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

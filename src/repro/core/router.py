@@ -13,6 +13,7 @@ clause (Sec. 3.3) and records per-query routing latency (Fig. 6b).
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -103,11 +104,13 @@ class QueryRouter:
     are real wall-clock per-query routing times (Fig. 6b).
     """
 
-    def __init__(self, tree: QdTree) -> None:
+    def __init__(self, tree: QdTree, max_latency_samples: Optional[int] = None) -> None:
         self.tree = tree
         if any(leaf.block_id is None for leaf in tree.leaves()):
             tree.assign_block_ids()
-        self._latencies: List[float] = []
+        # With a cap, only the most recent samples are retained so a
+        # long-lived router cannot grow without bound.
+        self._latencies: "deque[float]" = deque(maxlen=max_latency_samples)
 
     def route(self, query: Query) -> RoutedQuery:
         """Prune blocks for one query, recording latency."""

@@ -1,6 +1,6 @@
 """Scan-oriented execution engine with pluggable cost profiles."""
 
-from .executor import QueryStats, ScanEngine
+from .executor import ColumnReader, QueryStats, ScanEngine, default_column_reader
 from .profiles import (
     COMMERCIAL_DBMS,
     DISTRIBUTED_SPARK,
@@ -11,11 +11,13 @@ from .stats import WorkloadReport, speedup_cdf
 
 __all__ = [
     "COMMERCIAL_DBMS",
+    "ColumnReader",
     "CostProfile",
     "DISTRIBUTED_SPARK",
     "QueryStats",
     "SPARK_PARQUET",
     "ScanEngine",
     "WorkloadReport",
+    "default_column_reader",
     "speedup_cdf",
 ]

@@ -19,7 +19,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -29,7 +38,26 @@ from ..core.workload import Query, Workload
 from ..storage.blocks import Block, BlockStore
 from .profiles import CostProfile, SPARK_PARQUET
 
-__all__ = ["QueryStats", "ScanEngine"]
+__all__ = [
+    "ColumnReader",
+    "QueryStats",
+    "ScanEngine",
+    "default_column_reader",
+]
+
+#: Pluggable column-read path: ``(block, column names) -> decoded
+#: columns``.  The default decodes from the block's encoded chunks;
+#: a serving tier substitutes a buffer-pool read (see
+#: :class:`repro.serve.BlockCache`) so cached and uncached scans share
+#: one execution path.
+ColumnReader = Callable[[Block, Sequence[str]], Mapping[str, np.ndarray]]
+
+
+def default_column_reader(
+    block: Block, names: Sequence[str]
+) -> Mapping[str, np.ndarray]:
+    """The uncached read path: decode straight from the block."""
+    return block.read_columns(names)
 
 
 @dataclass
@@ -45,6 +73,24 @@ class QueryStats:
     columns_read: int
     modeled_ms: float
     wall_seconds: float
+    #: Decoded bytes the filter columns occupied in memory (0 for
+    #: legacy call sites that never touch the serving tier).
+    bytes_read: int = 0
+
+    def result_key(self) -> Tuple:
+        """Deterministic fields only — equal for any two executions of
+        the same query on the same layout, regardless of timing or
+        which read path (cached/uncached) served the columns."""
+        return (
+            self.query_name,
+            self.template,
+            self.blocks_considered,
+            self.blocks_scanned,
+            self.tuples_scanned,
+            self.rows_returned,
+            self.columns_read,
+            self.modeled_ms,
+        )
 
 
 class ScanEngine:
@@ -55,10 +101,13 @@ class ScanEngine:
         store: BlockStore,
         profile: CostProfile = SPARK_PARQUET,
         num_advanced_cuts: int = 0,
+        column_reader: Optional[ColumnReader] = None,
     ) -> None:
         self.store = store
         self.profile = profile
         self._num_advanced = num_advanced_cuts
+        self._column_reader: ColumnReader = column_reader or default_column_reader
+        self._store_bids = store.bid_set
         # Min-max metadata is held as NodeDescriptions so the same
         # conservative intersection logic drives SMA pruning.
         self._block_descriptions: Dict[int, NodeDescription] = {}
@@ -106,7 +155,7 @@ class ScanEngine:
         if candidate_bids is None:
             candidates = list(self.store.block_ids)
         else:
-            candidates = sorted(set(candidate_bids) & set(self.store.block_ids))
+            candidates = sorted(set(candidate_bids) & self._store_bids)
         return [
             bid
             for bid in candidates
@@ -118,12 +167,40 @@ class ScanEngine:
     ) -> QueryStats:
         """Run one query; ``block_ids`` is the routed BID list, if any."""
         considered = (
-            len(self.store.block_ids)
+            len(self._store_bids)
             if block_ids is None
-            else len(set(block_ids))
+            else len(set(block_ids) & self._store_bids)
         )
         t0 = time.perf_counter()
         survivors = self.prune_blocks(query, block_ids)
+        return self._scan(query, survivors, considered, t0)
+
+    def execute_pruned(
+        self,
+        query: Query,
+        survivors: Sequence[int],
+        blocks_considered: int,
+    ) -> QueryStats:
+        """Serving fast path: scan an already-pruned survivor list.
+
+        ``survivors`` must be exactly what :meth:`prune_blocks` would
+        return for this query (the serving tier memoizes it per
+        predicate fingerprint); ``blocks_considered`` is the pre-prune
+        candidate count so the stats match :meth:`execute` bit for bit
+        on every deterministic field (``wall_seconds`` here covers the
+        scan only — the pruning it skipped is the point).
+        """
+        return self._scan(query, list(survivors), blocks_considered)
+
+    def _scan(
+        self,
+        query: Query,
+        survivors: List[int],
+        considered: int,
+        t0: Optional[float] = None,
+    ) -> QueryStats:
+        if t0 is None:
+            t0 = time.perf_counter()
         filter_columns = sorted(query.predicate.referenced_columns())
         scan_columns = sorted(
             set(filter_columns) | set(query.scan_columns())
@@ -132,11 +209,13 @@ class ScanEngine:
             scan_columns = list(self.store.schema.column_names)
         tuples_scanned = 0
         rows_returned = 0
+        bytes_read = 0
         for block in self.store.blocks(survivors):
-            data = block.read_columns(filter_columns)
+            data = self._column_reader(block, filter_columns)
             mask = query.predicate.evaluate(data)
             tuples_scanned += block.num_rows
             rows_returned += int(mask.sum())
+            bytes_read += block.decoded_nbytes(filter_columns)
         wall = time.perf_counter() - t0
         modeled = self.profile.modeled_ms(
             blocks_scanned=len(survivors),
@@ -153,6 +232,7 @@ class ScanEngine:
             columns_read=len(scan_columns),
             modeled_ms=modeled,
             wall_seconds=wall,
+            bytes_read=bytes_read,
         )
 
     def execute_workload(

@@ -1,0 +1,34 @@
+"""Concurrent query serving over learned layouts.
+
+The paper evaluates layouts one query at a time; this subsystem turns
+a finished layout into something that serves traffic: a thread-safe
+:class:`LayoutService` facade (SQL in, routed/cached/scheduled scans
+out), a memory-budgeted LRU :class:`BlockCache` buffer pool of decoded
+columns, a bounded-admission :class:`Scheduler` thread pool, and a
+:class:`ServingMetrics` collector (QPS, latency percentiles, cache hit
+rate).
+"""
+
+from .cache import BlockCache, CacheStats
+from .metrics import MetricsSnapshot, ServingMetrics
+from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
+from .service import (
+    LayoutService,
+    ReplayResult,
+    ServeResult,
+    run_serial_baseline,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "BlockCache",
+    "CacheStats",
+    "LayoutService",
+    "MetricsSnapshot",
+    "ReplayResult",
+    "Scheduler",
+    "SchedulerStats",
+    "ServeResult",
+    "ServingMetrics",
+    "run_serial_baseline",
+]

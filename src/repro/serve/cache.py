@@ -1,0 +1,186 @@
+"""Memory-budgeted LRU buffer pool of decoded column arrays.
+
+A scan engine re-decodes every block's filter columns on each query
+(the paper's experiments run each query once, so this never mattered).
+Under serving traffic the same (block, column) pairs are read over and
+over; :class:`BlockCache` keeps decoded arrays in memory under a byte
+budget with LRU eviction, shared across all queries and worker
+threads.
+
+The cache is a :data:`~repro.engine.executor.ColumnReader`: plug it
+into :class:`~repro.engine.executor.ScanEngine` via ``column_reader=
+cache.read_columns`` and cached and uncached execution share one scan
+code path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.blocks import Block
+
+__all__ = ["BlockCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent point-in-time snapshot of cache accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    cached_bytes: int
+    budget_bytes: int
+    #: Bytes decoded on misses (the work the cache exists to avoid).
+    decoded_bytes: int
+    #: Bytes served straight from the pool (decode work avoided).
+    served_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Activity between ``earlier`` and this snapshot: cumulative
+        counters become deltas; residency fields (entries,
+        cached/budget bytes) keep this snapshot's point-in-time
+        values."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            entries=self.entries,
+            cached_bytes=self.cached_bytes,
+            budget_bytes=self.budget_bytes,
+            decoded_bytes=self.decoded_bytes - earlier.decoded_bytes,
+            served_bytes=self.served_bytes - earlier.served_bytes,
+        )
+
+
+class BlockCache:
+    """Thread-safe LRU cache of decoded column arrays.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum decoded bytes held at once.  Inserting past the budget
+        evicts least-recently-used entries; a single column larger than
+        the whole budget is served decode-through (never cached).
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, str], np.ndarray]" = OrderedDict()
+        self._cached_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._decoded_bytes = 0
+        self._served_bytes = 0
+
+    # ------------------------------------------------------------------
+    # The ColumnReader hook
+    # ------------------------------------------------------------------
+
+    def read_columns(
+        self, block: Block, names: Sequence[str]
+    ) -> Dict[str, np.ndarray]:
+        """Serve decoded columns, filling the pool on misses.
+
+        Cached arrays are marked read-only before they are shared:
+        every consumer (and every thread) sees the same immutable
+        buffer, so a hit is a dict lookup, not a copy.
+        """
+        out: Dict[str, np.ndarray] = {}
+        missing = []
+        with self._lock:
+            for name in names:
+                key = (block.block_id, name)
+                arr = self._entries.get(key)
+                if arr is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    self._served_bytes += arr.nbytes
+                    out[name] = arr
+                else:
+                    self._misses += 1
+                    missing.append(name)
+        # Decode outside the lock: numpy decode kernels release the GIL,
+        # so concurrent misses on different blocks overlap.
+        for name in missing:
+            decoded = block.read_column(name)
+            # Freeze a *view*, never the decoded array itself: for
+            # PLAIN chunks read_column returns the block's own payload
+            # by reference, and freezing that would make the block
+            # (and any caller-owned source array) read-only for good.
+            arr = decoded.view()
+            arr.setflags(write=False)
+            out[name] = arr
+            with self._lock:
+                self._decoded_bytes += arr.nbytes
+                self._insert((block.block_id, name), arr)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: Tuple[int, str], arr: np.ndarray) -> None:
+        """Insert under the held lock, evicting LRU entries to fit."""
+        if arr.nbytes > self.budget_bytes:
+            return  # decode-through: can never fit
+        existing = self._entries.pop(key, None)
+        if existing is not None:
+            self._cached_bytes -= existing.nbytes
+        self._entries[key] = arr
+        self._cached_bytes += arr.nbytes
+        while self._cached_bytes > self.budget_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._cached_bytes -= evicted.nbytes
+            self._evictions += 1
+
+    def invalidate(self, block_id: Optional[int] = None) -> int:
+        """Drop entries for one BID (or all); returns entries dropped."""
+        with self._lock:
+            if block_id is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._cached_bytes = 0
+                return dropped
+            keys = [k for k in self._entries if k[0] == block_id]
+            for key in keys:
+                self._cached_bytes -= self._entries.pop(key).nbytes
+            return len(keys)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                cached_bytes=self._cached_bytes,
+                budget_bytes=self.budget_bytes,
+                decoded_bytes=self._decoded_bytes,
+                served_bytes=self._served_bytes,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"BlockCache(entries={s.entries}, "
+            f"bytes={s.cached_bytes}/{s.budget_bytes}, "
+            f"hit_rate={s.hit_rate:.2f})"
+        )

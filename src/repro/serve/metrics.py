@@ -1,0 +1,165 @@
+"""Serving-side observability: latency, throughput, cache efficiency.
+
+:class:`ServingMetrics` is a thread-safe collector the
+:class:`~repro.serve.service.LayoutService` feeds once per completed
+query.  :meth:`ServingMetrics.snapshot` freezes the counters into a
+:class:`MetricsSnapshot` with the numbers an operator watches: QPS,
+latency percentiles (p50/p95/p99), cache hit rate, and bytes decoded
+versus bytes served from the buffer pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..engine.executor import QueryStats
+from .cache import CacheStats
+
+__all__ = ["MetricsSnapshot", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen serving metrics over one observation window.
+
+    ``bytes_read`` counts decoded bytes queries consumed; with a
+    buffer pool attached, ``cache.decoded_bytes`` /
+    ``cache.served_bytes`` split that into real decode work versus
+    pool hits.
+    """
+
+    queries: int
+    window_seconds: float
+    qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    blocks_scanned: int
+    tuples_scanned: int
+    rows_returned: int
+    bytes_read: int
+    cache: Optional[CacheStats] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate if self.cache is not None else 0.0
+
+    @property
+    def bytes_decoded(self) -> int:
+        """Bytes actually decoded (all of ``bytes_read`` when no
+        buffer pool sits in front of the scan)."""
+        if self.cache is not None:
+            return self.cache.decoded_bytes
+        return self.bytes_read
+
+    def report(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"queries            {self.queries}",
+            f"window             {self.window_seconds:.3f} s",
+            f"throughput         {self.qps:.1f} qps",
+            (
+                f"latency mean/p50   {self.latency_mean_ms:.3f} / "
+                f"{self.latency_p50_ms:.3f} ms"
+            ),
+            (
+                f"latency p95/p99    {self.latency_p95_ms:.3f} / "
+                f"{self.latency_p99_ms:.3f} ms"
+            ),
+            f"blocks scanned     {self.blocks_scanned}",
+            f"tuples scanned     {self.tuples_scanned}",
+            f"rows returned      {self.rows_returned}",
+            f"bytes read         {self.bytes_read}",
+            f"bytes decoded      {self.bytes_decoded}",
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"cache hit rate     {100 * self.cache.hit_rate:.1f}% "
+                f"({self.cache.hits} hits / {self.cache.misses} misses, "
+                f"{self.cache.evictions} evictions)"
+            )
+            lines.append(
+                f"cache residency    {self.cache.cached_bytes}/"
+                f"{self.cache.budget_bytes} bytes "
+                f"in {self.cache.entries} entries"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(latencies_ms: np.ndarray, q: float) -> float:
+    return float(np.percentile(latencies_ms, q)) if len(latencies_ms) else 0.0
+
+
+class ServingMetrics:
+    """Accumulates per-query observations from concurrent workers.
+
+    Latency samples are kept in a bounded window (``max_samples`` most
+    recent) so a long-lived service cannot grow without limit; the
+    scalar counters stay cumulative.
+    """
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=max_samples)
+        self._queries = 0
+        self._blocks_scanned = 0
+        self._tuples_scanned = 0
+        self._rows_returned = 0
+        self._bytes_read = 0
+        self._window_start = time.perf_counter()
+        self._last_record = self._window_start
+
+    def record(self, latency_seconds: float, stats: QueryStats) -> None:
+        """Record one completed query (called by any worker thread)."""
+        with self._lock:
+            self._latencies.append(latency_seconds)
+            self._queries += 1
+            self._blocks_scanned += stats.blocks_scanned
+            self._tuples_scanned += stats.tuples_scanned
+            self._rows_returned += stats.rows_returned
+            self._bytes_read += stats.bytes_read
+            self._last_record = time.perf_counter()
+
+    def reset(self) -> None:
+        """Start a fresh observation window."""
+        with self._lock:
+            self._latencies.clear()
+            self._queries = 0
+            self._blocks_scanned = 0
+            self._tuples_scanned = 0
+            self._rows_returned = 0
+            self._bytes_read = 0
+            self._window_start = time.perf_counter()
+            self._last_record = self._window_start
+
+    def snapshot(self, cache: Optional[CacheStats] = None) -> MetricsSnapshot:
+        """Freeze the current window (optionally attaching cache
+        accounting so one report covers the whole serving stack)."""
+        with self._lock:
+            lat_ms = np.asarray(self._latencies) * 1000.0
+            window = max(self._last_record - self._window_start, 0.0)
+            queries = self._queries
+            # Window spans from collector start/reset to the last
+            # completion; an empty window degenerates to qps 0.
+            qps = queries / window if window > 0 else 0.0
+            return MetricsSnapshot(
+                queries=queries,
+                window_seconds=window,
+                qps=qps,
+                latency_mean_ms=float(lat_ms.mean()) if len(lat_ms) else 0.0,
+                latency_p50_ms=_percentile(lat_ms, 50),
+                latency_p95_ms=_percentile(lat_ms, 95),
+                latency_p99_ms=_percentile(lat_ms, 99),
+                blocks_scanned=self._blocks_scanned,
+                tuples_scanned=self._tuples_scanned,
+                rows_returned=self._rows_returned,
+                bytes_read=self._bytes_read,
+                cache=cache,
+            )

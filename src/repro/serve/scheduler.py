@@ -1,0 +1,132 @@
+"""Thread-pool scheduler with bounded admission control.
+
+A naive ``ThreadPoolExecutor`` accepts unbounded work: under heavy
+traffic its internal queue grows without limit and tail latency
+explodes.  :class:`Scheduler` caps the number of admitted-but-
+unfinished queries at ``max_workers + queue_depth``; past that, a
+submit either blocks (closed-loop clients) or raises
+:class:`AdmissionRejected` (open-loop clients shed load).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["AdmissionRejected", "Scheduler", "SchedulerStats"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The admission queue is full and the caller chose not to wait."""
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Counters describing scheduler behaviour so far."""
+
+    submitted: int
+    completed: int
+    rejected: int
+    max_in_flight: int
+
+
+class Scheduler:
+    """Bounded-queue thread pool executing serving work.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker threads executing queries concurrently.
+    queue_depth:
+        Queries allowed to wait beyond the ones actively executing.
+    """
+
+    def __init__(self, max_workers: int = 4, queue_depth: int = 64) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_workers = max_workers
+        self.queue_depth = queue_depth
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._in_flight = 0
+        self._max_in_flight = 0
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ) -> "Future[Any]":
+        """Admit one unit of work; returns its future.
+
+        With ``block=False`` (or on timeout) a full admission queue
+        raises :class:`AdmissionRejected` instead of waiting.
+        """
+        if self._shutdown:
+            raise RuntimeError("scheduler is shut down")
+        if block:
+            acquired = self._slots.acquire(timeout=timeout)
+        else:
+            acquired = self._slots.acquire(blocking=False)
+        if not acquired:
+            with self._lock:
+                self._rejected += 1
+            raise AdmissionRejected(
+                f"admission queue full "
+                f"({self.max_workers} workers + {self.queue_depth} waiting)"
+            )
+        with self._lock:
+            self._submitted += 1
+            self._in_flight += 1
+            self._max_in_flight = max(self._max_in_flight, self._in_flight)
+        try:
+            future = self._pool.submit(fn, *args, **kwargs)
+        except BaseException:
+            self._slots.release()
+            with self._lock:
+                self._in_flight -= 1
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: "Future[Any]") -> None:
+        self._slots.release()
+        with self._lock:
+            self._completed += 1
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> SchedulerStats:
+        with self._lock:
+            return SchedulerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                max_in_flight=self._max_in_flight,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,365 @@
+"""The serving facade: SQL in, routed + cached + scheduled scans out.
+
+:class:`LayoutService` is the front door a client (or many concurrent
+clients) talks to.  One call travels the whole stack::
+
+    SQL text
+      -> SqlPlanner       (memoized, thread-safe parse/plan)
+      -> QueryRouter      (qd-tree BID pruning, memoized by predicate
+                           fingerprint so repeated shapes skip the tree)
+      -> ScanEngine       (one scan path; column reads served by the
+                           shared BlockCache buffer pool when enabled)
+      -> ServingMetrics   (latency/QPS/cache accounting)
+
+Concurrency comes from :class:`~repro.serve.scheduler.Scheduler`: a
+bounded thread pool whose admission queue back-pressures closed-loop
+clients and sheds load for open-loop ones.  Scans parallelize despite
+the GIL because the decode and filter kernels are vectorized numpy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.predicates import Predicate
+from ..core.router import QueryRouter
+from ..core.tree import QdTree
+from ..core.workload import Query
+from ..engine.executor import QueryStats, ScanEngine
+from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..sql.planner import SqlPlanner
+from ..storage.blocks import BlockStore
+from .cache import BlockCache
+from .metrics import MetricsSnapshot, ServingMetrics
+from .scheduler import AdmissionRejected, Scheduler
+
+__all__ = [
+    "LayoutService",
+    "ReplayResult",
+    "ServeResult",
+    "run_serial_baseline",
+]
+
+#: Default buffer-pool budget (bytes) — plenty for the generated
+#: benchmark scales, small against any real machine.
+DEFAULT_CACHE_BUDGET = 64 * 1024 * 1024
+
+
+def run_serial_baseline(
+    store: BlockStore,
+    tree: QdTree,
+    statements: Sequence[str],
+    repeat: int = 1,
+    planner: Optional[SqlPlanner] = None,
+    num_advanced_cuts: int = 0,
+    profile: CostProfile = SPARK_PARQUET,
+) -> Tuple[float, Tuple[QueryStats, ...]]:
+    """The pre-serving execution path, for speedup comparisons.
+
+    Plans the statements once, then routes, SMA-prunes and scans every
+    arrival from scratch, one at a time — exactly what executing the
+    workload cost before :class:`LayoutService` existed.  Returns
+    ``(sustained QPS, per-query stats)``.
+    """
+    engine = ScanEngine(store, profile, num_advanced_cuts=num_advanced_cuts)
+    if planner is None:
+        planner = SqlPlanner(store.schema)
+    router = QueryRouter(tree)
+    queries = [planner.plan(sql).query for sql in statements]
+    t0 = time.perf_counter()
+    stats = []
+    for _ in range(repeat):
+        for query in queries:
+            routed = router.route(query)
+            stats.append(engine.execute(query, routed.block_ids))
+    seconds = time.perf_counter() - t0
+    qps = len(stats) / seconds if seconds > 0 else 0.0
+    return qps, tuple(stats)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one served query."""
+
+    sql: str
+    stats: QueryStats
+    #: End-to-end seconds (queue wait + plan + route + scan when the
+    #: query went through the scheduler; service time otherwise).
+    latency_seconds: float
+    #: BIDs the router narrowed the query to (``None`` without a tree).
+    routed_block_ids: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one workload replay run."""
+
+    issued: int
+    completed: int
+    rejected: int
+    wall_seconds: float
+    results: Tuple[ServeResult, ...]
+    snapshot: MetricsSnapshot
+
+    @property
+    def qps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class LayoutService:
+    """Thread-safe query-serving facade over one physical layout.
+
+    Parameters
+    ----------
+    store:
+        The layout's block store.
+    tree:
+        Optional qd-tree; when given, queries are routed to the
+        ``BID IN (...)`` list before scanning (Sec. 3.3), with routes
+        memoized by predicate fingerprint.
+    profile:
+        Cost profile for modeled runtimes.
+    num_advanced_cuts:
+        Advanced-cut slots the layout was built with.
+    cache_budget_bytes:
+        Buffer-pool budget; ``0``/``None`` disables caching entirely
+        (every scan decodes from the encoded chunks).
+    max_workers / queue_depth:
+        Scheduler sizing; see :class:`~repro.serve.scheduler.Scheduler`.
+    planner:
+        The planner that planned the layout's build workload.  Pass it
+        whenever that workload contained advanced (column-vs-column)
+        cuts: advanced-cut slot indices are handed out in planning
+        order, so a fresh planner seeing served statements in a
+        different order would bind the same comparison to a different
+        slot and rout/prune on the wrong possibility bits.
+    """
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tree: Optional[QdTree] = None,
+        profile: CostProfile = SPARK_PARQUET,
+        num_advanced_cuts: int = 0,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers: int = 4,
+        queue_depth: int = 64,
+        planner: Optional[SqlPlanner] = None,
+    ) -> None:
+        self.store = store
+        self.planner = planner if planner is not None else SqlPlanner(store.schema)
+        self.cache: Optional[BlockCache] = (
+            BlockCache(cache_budget_bytes) if cache_budget_bytes else None
+        )
+        self.engine = ScanEngine(
+            store,
+            profile,
+            num_advanced_cuts=num_advanced_cuts,
+            column_reader=(
+                self.cache.read_columns if self.cache is not None else None
+            ),
+        )
+        self.router: Optional[QueryRouter] = (
+            QueryRouter(tree, max_latency_samples=10_000)
+            if tree is not None
+            else None
+        )
+        self.metrics = ServingMetrics()
+        self.scheduler = Scheduler(max_workers=max_workers, queue_depth=queue_depth)
+        # Routing memo: predicate fingerprint -> (routed BIDs or None,
+        # pre-prune candidate count, post-SMA survivor BIDs).  Repeated
+        # predicate shapes skip both the tree walk and the per-block
+        # min-max intersection, the two Python-level costs that dwarf
+        # the vectorized scan itself.  Bounded (FIFO eviction) so a
+        # long-lived service under ad-hoc traffic cannot grow without
+        # limit.  Misses compute outside the lock — a racing duplicate
+        # computation is benign — with a separate small lock guarding
+        # the router's internal latency state.
+        self._route_lock = threading.Lock()
+        self._router_lock = threading.Lock()
+        self._route_memo: "OrderedDict[Predicate, Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+        self._route_memo_cap = 16384
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+
+    def _route(
+        self, query: Query
+    ) -> Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]:
+        """Routed BIDs, candidate count, and SMA survivors — memoized
+        so repeated predicate shapes cost two dict lookups."""
+        key = query.predicate
+        with self._route_lock:
+            hit = self._route_memo.get(key)
+            if hit is not None:
+                return hit
+        # Miss: the tree walk and per-block pruning run outside the
+        # memo lock so they never stall concurrent memo hits.
+        if self.router is not None:
+            with self._router_lock:
+                routed: Optional[Tuple[int, ...]] = self.router.route(
+                    query
+                ).block_ids
+            considered = len(set(routed) & self.store.bid_set)
+        else:
+            routed = None
+            considered = self.store.num_blocks
+        survivors = tuple(self.engine.prune_blocks(query, routed))
+        entry = (routed, considered, survivors)
+        with self._route_lock:
+            self._route_memo[key] = entry
+            while len(self._route_memo) > self._route_memo_cap:
+                self._route_memo.popitem(last=False)
+        return entry
+
+    def _serve(self, sql: str, admitted_at: float) -> ServeResult:
+        planned = self.planner.plan(sql)
+        routed, considered, survivors = self._route(planned.query)
+        stats = self.engine.execute_pruned(planned.query, survivors, considered)
+        latency = time.perf_counter() - admitted_at
+        self.metrics.record(latency, stats)
+        return ServeResult(
+            sql=sql,
+            stats=stats,
+            latency_seconds=latency,
+            routed_block_ids=routed,
+        )
+
+    def execute_sql(self, sql: str) -> ServeResult:
+        """Serve one statement synchronously on the caller's thread."""
+        return self._serve(sql, time.perf_counter())
+
+    def submit_sql(
+        self, sql: str, block: bool = True, timeout: Optional[float] = None
+    ):
+        """Admit one statement to the scheduler; returns its future.
+
+        The result's latency includes time spent waiting in the
+        admission queue.  Raises
+        :class:`~repro.serve.scheduler.AdmissionRejected` when the
+        queue is full and ``block`` is false (or the wait times out).
+        """
+        return self.scheduler.submit(
+            self._serve, sql, time.perf_counter(), block=block, timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Workload replay
+    # ------------------------------------------------------------------
+
+    def run_closed_loop(
+        self, statements: Sequence[str], repeat: int = 1
+    ) -> ReplayResult:
+        """Replay ``statements`` ``repeat`` times through the pool.
+
+        Closed-loop: submission back-pressures on the admission queue,
+        so the offered load always matches what the pool sustains.
+        """
+        self.metrics.reset()
+        cache_before = self.cache.stats() if self.cache is not None else None
+        t0 = time.perf_counter()
+        futures = []
+        for _ in range(repeat):
+            for sql in statements:
+                futures.append(self.submit_sql(sql))
+        results = tuple(f.result() for f in futures)
+        wall = time.perf_counter() - t0
+        return ReplayResult(
+            issued=len(futures),
+            completed=len(results),
+            rejected=0,
+            wall_seconds=wall,
+            results=results,
+            snapshot=self._window_snapshot(cache_before),
+        )
+
+    def run_open_loop(
+        self, statements: Sequence[str], target_qps: float, repeat: int = 1
+    ) -> ReplayResult:
+        """Replay at a fixed arrival rate, shedding load when full.
+
+        Open-loop: arrivals are paced at ``target_qps`` regardless of
+        completions; a full admission queue rejects the arrival (the
+        client sees an error, the system stays stable).
+        """
+        if target_qps <= 0:
+            raise ValueError("target_qps must be > 0")
+        self.metrics.reset()
+        cache_before = self.cache.stats() if self.cache is not None else None
+        interval = 1.0 / target_qps
+        t0 = time.perf_counter()
+        futures = []
+        rejected = 0
+        arrival = t0
+        for i in range(repeat):
+            for sql in statements:
+                now = time.perf_counter()
+                if now < arrival:
+                    time.sleep(arrival - now)
+                arrival += interval
+                try:
+                    futures.append(self.submit_sql(sql, block=False))
+                except AdmissionRejected:
+                    rejected += 1
+        results = tuple(f.result() for f in futures)
+        wall = time.perf_counter() - t0
+        return ReplayResult(
+            issued=len(futures) + rejected,
+            completed=len(results),
+            rejected=rejected,
+            wall_seconds=wall,
+            results=results,
+            snapshot=self._window_snapshot(cache_before),
+        )
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Current-window metrics with cache accounting attached."""
+        return self.metrics.snapshot(
+            self.cache.stats() if self.cache is not None else None
+        )
+
+    def _window_snapshot(self, cache_before) -> MetricsSnapshot:
+        """Snapshot whose cache stats cover only the window since
+        ``cache_before`` — a replay's report must describe that replay,
+        not cache activity accumulated over the service's lifetime."""
+        if self.cache is None:
+            return self.metrics.snapshot(None)
+        now = self.cache.stats()
+        return self.metrics.snapshot(
+            now.since(cache_before) if cache_before is not None else now
+        )
+
+    def report(self) -> str:
+        """Operator-facing text report for the current window."""
+        snap = self.snapshot()
+        sched = self.scheduler.stats()
+        routes = len(self._route_memo)
+        lines = [snap.report()]
+        lines.append(
+            f"scheduler          {sched.submitted} submitted / "
+            f"{sched.completed} completed / {sched.rejected} rejected "
+            f"(peak in-flight {sched.max_in_flight})"
+        )
+        if self.router is not None:
+            lines.append(f"route memo         {routes} unique predicates")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "LayoutService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -9,11 +9,17 @@ Only the subset needed by the paper is implemented::
     SELECT <cols|*> FROM <table> WHERE <predicate>
 
 The planner is stateful across queries so that identical binary
-comparisons share one advanced-cut slot.
+comparisons share one advanced-cut slot.  Because that state (the
+advanced-cut registry and the embedded parser) is shared, :meth:`plan`
+serializes callers behind a re-entrant lock and memoizes repeated
+statement texts — the serving tier (:mod:`repro.serve`) re-plans the
+same statements from many threads.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,15 +46,42 @@ class SqlPlanner:
     """Plans SQL statements into :class:`~repro.core.workload.Query`
     objects and collects candidate cuts across a workload."""
 
+    #: Bound on the statement memo (FIFO eviction) so a long-lived
+    #: planner fed ad-hoc statements cannot grow without limit.
+    MEMO_CAP = 16384
+
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self.advanced_registry: Dict[str, AdvancedCut] = {}
         self._parser = PredicateParser(schema, self.advanced_registry)
+        self._lock = threading.RLock()
+        self._memo: "OrderedDict[Tuple[str, str, str], PlannedQuery]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
 
     def plan(self, sql: str, name: str = "", template: str = "") -> PlannedQuery:
-        """Plan one ``SELECT ... FROM ... WHERE ...`` statement."""
+        """Plan one ``SELECT ... FROM ... WHERE ...`` statement.
+
+        Thread-safe; repeated statements (same text/name/template) hit
+        a memo instead of re-parsing, so re-planning a served workload
+        is cheap and never grows the advanced-cut registry.
+        """
+        key = (sql, name, template)
+        with self._lock:
+            hit = self._memo.get(key)
+            if hit is not None:
+                return hit
+            planned = self._plan_uncached(sql, name=name, template=template)
+            self._memo[key] = planned
+            while len(self._memo) > self.MEMO_CAP:
+                self._memo.popitem(last=False)
+            return planned
+
+    def _plan_uncached(
+        self, sql: str, name: str = "", template: str = ""
+    ) -> PlannedQuery:
         tokens = tokenize(sql)
         pos = 0
 

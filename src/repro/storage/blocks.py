@@ -76,6 +76,18 @@ class Block:
         """Decode several columns at once."""
         return {name: self.read_column(name) for name in names}
 
+    def decoded_nbytes(self, names: Sequence[str]) -> int:
+        """Bytes the named columns occupy once decoded (buffer-pool
+        cost), computed from chunk metadata without decoding."""
+        total = 0
+        for name in names:
+            try:
+                chunk = self._chunks[name]
+            except KeyError:
+                raise SchemaError(f"unknown column {name!r}") from None
+            total += chunk.num_values * chunk.dtype.itemsize
+        return total
+
     def to_table(self) -> Table:
         """Decode the full block back into a :class:`Table`."""
         cols = {name: self.read_column(name) for name in self.schema.column_names}
@@ -118,6 +130,8 @@ class BlockStore:
         seen = [b.block_id for b in self._blocks]
         if len(set(seen)) != len(seen):
             raise ValueError(f"duplicate block ids: {seen}")
+        self._by_id: Dict[int, Block] = {b.block_id: b for b in self._blocks}
+        self._bid_set = frozenset(self._by_id)
         stored = sum(b.num_rows for b in self._blocks)
         self.logical_rows = logical_rows if logical_rows is not None else stored
 
@@ -178,25 +192,34 @@ class BlockStore:
     def block_ids(self) -> Tuple[int, ...]:
         return tuple(b.block_id for b in self._blocks)
 
+    @property
+    def bid_set(self) -> frozenset:
+        """Membership set of all BIDs (O(1) lookups)."""
+        return self._bid_set
+
     def __iter__(self) -> Iterator[Block]:
         return iter(self._blocks)
 
     def __len__(self) -> int:
         return len(self._blocks)
 
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._by_id
+
     def block(self, block_id: int) -> Block:
         """Fetch a block by BID."""
-        for b in self._blocks:
-            if b.block_id == block_id:
-                return b
-        raise KeyError(f"no block with id {block_id}")
+        try:
+            return self._by_id[block_id]
+        except KeyError:
+            raise KeyError(f"no block with id {block_id}") from None
 
     def blocks(self, block_ids: Optional[Iterable[int]] = None) -> List[Block]:
-        """Blocks with the given BIDs (all blocks when ``None``)."""
+        """Blocks with the given BIDs, in BID order (all when ``None``);
+        BIDs absent from the store are ignored."""
         if block_ids is None:
             return list(self._blocks)
-        wanted = set(block_ids)
-        return [b for b in self._blocks if b.block_id in wanted]
+        wanted = set(block_ids) & self._bid_set
+        return [self._by_id[bid] for bid in sorted(wanted)]
 
     def min_block_size(self) -> int:
         """Smallest block's row count (to verify the ``b`` constraint)."""

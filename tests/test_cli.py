@@ -138,3 +138,52 @@ class TestRoute:
         )
         out = capsys.readouterr().out
         assert f"returned {expected} rows" in out
+
+
+class TestServeBench:
+    def test_replays_layout_workload(self, layout_dir, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--threads", "2",
+                "--repeat", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qps" in out
+        assert "cache hit rate" in out
+        assert "scheduler" in out
+
+    def test_compare_prints_speedup(self, layout_dir, queries_file, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--queries", str(queries_file),
+                "--threads", "2",
+                "--repeat", "5",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial uncached baseline" in out
+        assert "serving speedup" in out
+
+    def test_no_cache_and_open_loop(self, layout_dir, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--no-cache",
+                "--mode", "open",
+                "--target-qps", "500",
+                "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" not in out
+        assert "rejected" in out

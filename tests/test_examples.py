@@ -47,6 +47,17 @@ def test_tpch_layout_example_small(capsys):
     assert "woodblock" in out
 
 
+def test_serving_demo_example_small(capsys):
+    run_example(
+        "serving_demo.py",
+        ["--rows", "10000", "--threads", "4", "--repeat", "5"],
+    )
+    out = capsys.readouterr().out
+    assert "serial uncached baseline" in out
+    assert "speedup" in out
+    assert "cache hit rate" in out
+
+
 def test_errorlog_skipping_example_small(capsys):
     run_example(
         "errorlog_skipping.py",
