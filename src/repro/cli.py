@@ -15,8 +15,11 @@ Subcommands
 ``serve-bench``
     Replay a SQL workload against a saved layout through the
     :mod:`repro.serve` serving tier (thread pool + buffer-pool cache)
-    and print the latency/throughput/cache report.  ``--compare`` also
-    runs the serial uncached baseline and prints the QPS speedup.
+    and print the latency/throughput/cache report.  ``--shards N``
+    serves through the scatter-gather :class:`ShardedLayoutService`
+    (``--partition rr|subtree`` picks the shard assignment).
+    ``--compare`` also runs the serial uncached baseline — and, when
+    sharded, the 1-shard service — and prints the QPS speedups.
 
 Example::
 
@@ -26,6 +29,8 @@ Example::
         --sql "SELECT * FROM t WHERE x < 10"
     python -m repro.cli serve-bench --layout layout/ \
         --threads 8 --repeat 20 --compare
+    python -m repro.cli serve-bench --layout layout/ \
+        --shards 4 --partition subtree --compare
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from .core.tree import QdTree
 from .engine.executor import ScanEngine
 from .engine.profiles import SPARK_PARQUET
 from .rl.woodblock import Woodblock, WoodblockConfig
-from .serve import LayoutService, run_serial_baseline
+from .serve import LayoutService, ShardedLayoutService, run_serial_baseline
 from .sql.planner import SqlPlanner
 from .storage.catalog import load_store, load_table, save_store
 
@@ -173,22 +178,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         statements = meta["queries"]
     cache_bytes = None if args.no_cache else args.cache_mb * 1024 * 1024
 
-    with LayoutService(
-        store,
-        tree,
-        num_advanced_cuts=registry.num_advanced_cuts,
-        cache_budget_bytes=cache_bytes,
-        max_workers=args.threads,
-        queue_depth=args.queue_depth,
-        planner=planner,
-    ) as service:
+    def replay_service(service):
         if args.mode == "open":
             replay = service.run_open_loop(
                 statements, target_qps=args.target_qps, repeat=args.repeat
             )
         else:
             replay = service.run_closed_loop(statements, repeat=args.repeat)
-        report = service.report()
+        return replay, service.report()
+
+    def make_single_service():
+        return LayoutService(
+            store,
+            tree,
+            num_advanced_cuts=registry.num_advanced_cuts,
+            cache_budget_bytes=cache_bytes,
+            max_workers=args.threads,
+            queue_depth=args.queue_depth,
+            planner=planner,
+        )
+
+    if args.shards > 1:
+        # Scale-out topology: each shard gets --threads workers (a
+        # shard models a machine; adding shards adds capacity).
+        with ShardedLayoutService(
+            store,
+            tree,
+            num_shards=args.shards,
+            partition=args.partition,
+            num_advanced_cuts=registry.num_advanced_cuts,
+            cache_budget_bytes=cache_bytes,
+            max_workers_per_shard=args.threads,
+            queue_depth=args.queue_depth,
+            planner=planner,
+        ) as service:
+            replay, report = replay_service(service)
+    else:
+        with make_single_service() as service:
+            replay, report = replay_service(service)
     print(
         f"replayed {replay.completed}/{replay.issued} queries "
         f"({replay.rejected} rejected) in {replay.wall_seconds:.3f} s "
@@ -196,6 +223,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     print(report)
     if args.compare:
+        if args.shards > 1:
+            with make_single_service() as single:
+                one_shard, _ = replay_service(single)
+            ratio = (
+                replay.qps / one_shard.qps if one_shard.qps > 0 else float("inf")
+            )
+            print(f"\n1-shard service: {one_shard.qps:.1f} qps")
+            print(f"sharded ({args.shards} shards) speedup: {ratio:.2f}x")
         base_qps, _ = run_serial_baseline(
             store,
             tree,
@@ -254,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="buffer-pool budget in MiB")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the buffer pool")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="shard count; > 1 serves through the "
+                              "scatter-gather ShardedLayoutService "
+                              "(--threads workers per shard)")
+    p_serve.add_argument("--partition", choices=("rr", "subtree"),
+                         default="rr",
+                         help="shard partition strategy: round-robin "
+                              "by BID, or contiguous qd-tree subtrees")
     p_serve.add_argument("--queue-depth", type=int, default=64)
     p_serve.add_argument("--mode", choices=("closed", "open"),
                          default="closed")

@@ -25,7 +25,78 @@ from .predicates import Predicate
 from .tree import QdTree
 from .workload import Query, Workload
 
-__all__ = ["DataRouter", "QueryRouter", "RoutedQuery", "RoutingStats"]
+__all__ = [
+    "DataRouter",
+    "QueryRouter",
+    "RoutedQuery",
+    "RoutingStats",
+    "subtree_shard_assignment",
+]
+
+
+def subtree_shard_assignment(
+    tree: QdTree,
+    num_shards: int,
+    weights: Optional[Mapping[int, int]] = None,
+) -> Dict[int, int]:
+    """Assign each leaf BID to a shard by qd-tree subtree locality.
+
+    Leaves are visited in left-to-right (in-order) tree order — the
+    order in which sibling subtrees enumerate their leaves — and cut
+    into ``num_shards`` contiguous runs of near-equal total weight
+    (``weights`` maps BID -> row count; unweighted when omitted).
+    Contiguity in leaf order means each shard owns whole subtrees
+    wherever the weight balance allows, so a routed query whose
+    surviving BIDs cluster under one subtree fans out to few shards.
+
+    Trade-off versus round-robin: round-robin balances block counts
+    exactly and spreads every query over all shards (good for
+    intra-query parallelism, high fan-out); subtree assignment keeps a
+    selective query's scatter narrow (low fan-out, less coordination)
+    but a hot subtree concentrates its load on one shard.
+
+    Returns a BID -> shard mapping suitable for
+    :meth:`repro.storage.blocks.BlockStore.partition`.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if any(leaf.block_id is None for leaf in tree.leaves()):
+        tree.assign_block_ids()
+
+    ordered: List[int] = []
+
+    def visit(node) -> None:
+        if node.is_leaf:
+            bid = node.block_id if node.block_id is not None else node.node_id
+            ordered.append(bid)
+            return
+        visit(node.left)
+        visit(node.right)
+
+    visit(tree.root)
+    weight = [max(int(weights.get(bid, 1)) if weights else 1, 0) for bid in ordered]
+    assignment: Dict[int, int] = {}
+    idx = 0
+    remaining_weight = sum(weight) or len(ordered)
+    for shard in range(num_shards):
+        if idx >= len(ordered):
+            break  # fewer leaves than shards: trailing shards stay empty
+        # Greedy contiguous split: each shard takes leaves until it
+        # reaches an equal share of the weight still unassigned, but
+        # always leaves at least one leaf per remaining shard.
+        target = remaining_weight / (num_shards - shard)
+        acc = 0
+        while idx < len(ordered):
+            assignment[ordered[idx]] = shard
+            acc += weight[idx]
+            idx += 1
+            if shard < num_shards - 1:
+                if len(ordered) - idx <= num_shards - shard - 1:
+                    break
+                if acc >= target:
+                    break
+        remaining_weight -= acc
+    return assignment
 
 
 @dataclass

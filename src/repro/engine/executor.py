@@ -162,6 +162,41 @@ class ScanEngine:
             if self._block_descriptions[bid].may_match(query.predicate)
         ]
 
+    def collect_row_ids(
+        self,
+        query: Query,
+        block_ids: Optional[Iterable[int]] = None,
+        pruned: bool = False,
+    ) -> np.ndarray:
+        """Original-table row ids the query matches (sorted, deduped).
+
+        Requires blocks built with row-id provenance (see
+        :class:`~repro.storage.blocks.Block`); differential harnesses
+        use this to prove two execution topologies return the same
+        *rows*, not merely the same counts.  Deduplication makes the
+        result well-defined under replicated layouts.  Pass
+        ``pruned=True`` when ``block_ids`` is already an SMA-pruned
+        survivor list (the serving tier memoizes one per predicate) to
+        skip re-pruning.
+        """
+        if pruned and block_ids is not None:
+            survivors = list(block_ids)
+        else:
+            survivors = self.prune_blocks(query, block_ids)
+        filter_columns = sorted(query.predicate.referenced_columns())
+        matched = []
+        for block in self.store.blocks(survivors):
+            if block.row_ids is None:
+                raise ValueError(
+                    f"block {block.block_id} carries no row-id provenance"
+                )
+            data = self._column_reader(block, filter_columns)
+            mask = query.predicate.evaluate(data)
+            matched.append(block.row_ids[mask])
+        if not matched:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(matched))
+
     def execute(
         self, query: Query, block_ids: Optional[Iterable[int]] = None
     ) -> QueryStats:

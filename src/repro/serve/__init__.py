@@ -7,6 +7,13 @@ out), a memory-budgeted LRU :class:`BlockCache` buffer pool of decoded
 columns, a bounded-admission :class:`Scheduler` thread pool, and a
 :class:`ServingMetrics` collector (QPS, latency percentiles, cache hit
 rate).
+
+:class:`ShardedLayoutService` (:mod:`repro.serve.shard`) scales the
+same facade out: the block store is partitioned across N shards —
+round-robin by BID or by qd-tree subtree — each running its own
+:class:`LayoutService`, behind a scatter-gather coordinator that fans
+each query out only to the shards owning surviving blocks and merges
+per-shard stats into one bit-identical result.
 """
 
 from .cache import BlockCache, CacheStats
@@ -15,9 +22,11 @@ from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
 from .service import (
     LayoutService,
     ReplayResult,
+    ReplayableService,
     ServeResult,
     run_serial_baseline,
 )
+from .shard import ShardSnapshot, ShardedLayoutService
 
 __all__ = [
     "AdmissionRejected",
@@ -26,9 +35,12 @@ __all__ = [
     "LayoutService",
     "MetricsSnapshot",
     "ReplayResult",
+    "ReplayableService",
     "Scheduler",
     "SchedulerStats",
     "ServeResult",
     "ServingMetrics",
+    "ShardSnapshot",
+    "ShardedLayoutService",
     "run_serial_baseline",
 ]

@@ -47,6 +47,21 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @classmethod
+    def merged(cls, parts: Sequence["CacheStats"]) -> "CacheStats":
+        """Aggregate accounting across shards: counters and residency
+        sum (each shard owns its own budget, like separate machines)."""
+        return cls(
+            hits=sum(p.hits for p in parts),
+            misses=sum(p.misses for p in parts),
+            evictions=sum(p.evictions for p in parts),
+            entries=sum(p.entries for p in parts),
+            cached_bytes=sum(p.cached_bytes for p in parts),
+            budget_bytes=sum(p.budget_bytes for p in parts),
+            decoded_bytes=sum(p.decoded_bytes for p in parts),
+            served_bytes=sum(p.served_bytes for p in parts),
+        )
+
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Activity between ``earlier`` and this snapshot: cumulative
         counters become deltas; residency fields (entries,
@@ -100,9 +115,16 @@ class BlockCache:
         Cached arrays are marked read-only before they are shared:
         every consumer (and every thread) sees the same immutable
         buffer, so a hit is a dict lookup, not a copy.
+
+        Columns requested by one call are equally recent; processing
+        them in sorted-name order makes the LRU order — and therefore
+        eviction under equal-recency ties — independent of the order
+        the caller listed the names, so differential runs with a fixed
+        seed reproduce the same cache state and eviction counts.
         """
         out: Dict[str, np.ndarray] = {}
         missing = []
+        names = sorted(set(names))
         with self._lock:
             for name in names:
                 key = (block.block_id, name)

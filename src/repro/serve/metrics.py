@@ -94,6 +94,8 @@ class MetricsSnapshot:
 
 
 def _percentile(latencies_ms: np.ndarray, q: float) -> float:
+    """Percentile that degenerates to 0.0 on an empty window instead
+    of letting ``np.percentile`` raise on a zero-length sample."""
     return float(np.percentile(latencies_ms, q)) if len(latencies_ms) else 0.0
 
 
@@ -143,7 +145,24 @@ class ServingMetrics:
         """Freeze the current window (optionally attaching cache
         accounting so one report covers the whole serving stack)."""
         with self._lock:
-            lat_ms = np.asarray(self._latencies) * 1000.0
+            if not self._latencies and self._queries == 0:
+                # Empty window: all-zero snapshot (percentiles included)
+                # rather than asking numpy for percentiles of nothing.
+                return MetricsSnapshot(
+                    queries=0,
+                    window_seconds=0.0,
+                    qps=0.0,
+                    latency_mean_ms=0.0,
+                    latency_p50_ms=0.0,
+                    latency_p95_ms=0.0,
+                    latency_p99_ms=0.0,
+                    blocks_scanned=0,
+                    tuples_scanned=0,
+                    rows_returned=0,
+                    bytes_read=0,
+                    cache=cache,
+                )
+            lat_ms = np.asarray(self._latencies, dtype=np.float64) * 1000.0
             window = max(self._last_record - self._window_start, 0.0)
             queries = self._queries
             # Window spans from collector start/reset to the last

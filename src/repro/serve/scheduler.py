@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 __all__ = ["AdmissionRejected", "Scheduler", "SchedulerStats"]
 
@@ -24,12 +24,38 @@ class AdmissionRejected(RuntimeError):
 
 @dataclass(frozen=True)
 class SchedulerStats:
-    """Counters describing scheduler behaviour so far."""
+    """Counters describing scheduler behaviour so far.
+
+    The counters reconcile by construction and tests assert it:
+    ``submitted`` (admitted) = ``completed`` + ``in_flight``, and every
+    offered unit of work is either admitted or ``rejected`` (shed).
+    """
 
     submitted: int
     completed: int
     rejected: int
     max_in_flight: int
+    #: Admitted but not yet finished at snapshot time.
+    in_flight: int = 0
+
+    @property
+    def offered(self) -> int:
+        """Everything clients tried to submit (admitted + shed)."""
+        return self.submitted + self.rejected
+
+    @classmethod
+    def merged(cls, parts: Sequence["SchedulerStats"]) -> "SchedulerStats":
+        """Aggregate across shards.  ``max_in_flight`` sums: each shard
+        pool peaks independently, so the sum is the topology's peak
+        concurrent capacity actually used (an upper bound on the true
+        simultaneous peak)."""
+        return cls(
+            submitted=sum(p.submitted for p in parts),
+            completed=sum(p.completed for p in parts),
+            rejected=sum(p.rejected for p in parts),
+            max_in_flight=sum(p.max_in_flight for p in parts),
+            in_flight=sum(p.in_flight for p in parts),
+        )
 
 
 class Scheduler:
@@ -119,6 +145,7 @@ class Scheduler:
                 completed=self._completed,
                 rejected=self._rejected,
                 max_in_flight=self._max_in_flight,
+                in_flight=self._in_flight,
             )
 
     def shutdown(self, wait: bool = True) -> None:

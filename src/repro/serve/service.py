@@ -33,13 +33,15 @@ from ..engine.executor import QueryStats, ScanEngine
 from ..engine.profiles import SPARK_PARQUET, CostProfile
 from ..sql.planner import SqlPlanner
 from ..storage.blocks import BlockStore
-from .cache import BlockCache
+from .cache import BlockCache, CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
 from .scheduler import AdmissionRejected, Scheduler
 
 __all__ = [
     "LayoutService",
     "ReplayResult",
+    "ReplayableService",
+    "RouteMemo",
     "ServeResult",
     "run_serial_baseline",
 ]
@@ -110,7 +112,164 @@ class ReplayResult:
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
-class LayoutService:
+class RouteMemo:
+    """Bounded, thread-safe memo for per-predicate routing decisions.
+
+    Shared by :class:`LayoutService` and the sharded coordinator so
+    both facades carry one memoization discipline: hits cost two dict
+    lookups under a small lock; misses compute *outside* the lock (a
+    racing duplicate computation is benign); inserts FIFO-evict past
+    ``cap`` so a long-lived service under ad-hoc traffic cannot grow
+    without limit.
+    """
+
+    def __init__(self, cap: int = 16384) -> None:
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Predicate, object]" = OrderedDict()
+        self.cap = cap
+
+    def get_or_compute(self, key: Predicate, compute):
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                return hit
+        entry = compute()
+        with self._lock:
+            self._entries[key] = entry
+            while len(self._entries) > self.cap:
+                self._entries.popitem(last=False)
+        return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ReplayableService:
+    """Workload-replay driving shared by serving facades.
+
+    Subclasses provide ``metrics`` (a :class:`ServingMetrics`),
+    :meth:`submit_sql`, and :meth:`_cache_stats`; they inherit the
+    closed-loop / open-loop replay drivers, windowed snapshots and the
+    context-manager protocol.  This is what lets the single-service
+    :class:`LayoutService` and the scatter-gather
+    :class:`~repro.serve.shard.ShardedLayoutService` present one
+    client-facing API.
+    """
+
+    metrics: ServingMetrics
+
+    def submit_sql(
+        self, sql: str, block: bool = True, timeout: Optional[float] = None
+    ):
+        raise NotImplementedError
+
+    def _cache_stats(self):
+        """Current cache accounting (``None`` when caching is off)."""
+        raise NotImplementedError
+
+    def _reset_window(self) -> None:
+        self.metrics.reset()
+
+    # ------------------------------------------------------------------
+    # Workload replay
+    # ------------------------------------------------------------------
+
+    def run_closed_loop(
+        self, statements: Sequence[str], repeat: int = 1
+    ) -> ReplayResult:
+        """Replay ``statements`` ``repeat`` times through the pool.
+
+        Closed-loop: submission back-pressures on the admission queue,
+        so the offered load always matches what the pool sustains.
+        """
+        self._reset_window()
+        cache_before = self._cache_stats()
+        t0 = time.perf_counter()
+        futures = []
+        for _ in range(repeat):
+            for sql in statements:
+                futures.append(self.submit_sql(sql))
+        results = tuple(f.result() for f in futures)
+        wall = time.perf_counter() - t0
+        return ReplayResult(
+            issued=len(futures),
+            completed=len(results),
+            rejected=0,
+            wall_seconds=wall,
+            results=results,
+            snapshot=self._window_snapshot(cache_before),
+        )
+
+    def run_open_loop(
+        self, statements: Sequence[str], target_qps: float, repeat: int = 1
+    ) -> ReplayResult:
+        """Replay at a fixed arrival rate, shedding load when full.
+
+        Open-loop: arrivals are paced at ``target_qps`` regardless of
+        completions; a full admission queue rejects the arrival (the
+        client sees an error, the system stays stable).
+        """
+        if target_qps <= 0:
+            raise ValueError("target_qps must be > 0")
+        self._reset_window()
+        cache_before = self._cache_stats()
+        interval = 1.0 / target_qps
+        t0 = time.perf_counter()
+        futures = []
+        rejected = 0
+        arrival = t0
+        for i in range(repeat):
+            for sql in statements:
+                now = time.perf_counter()
+                if now < arrival:
+                    time.sleep(arrival - now)
+                arrival += interval
+                try:
+                    futures.append(self.submit_sql(sql, block=False))
+                except AdmissionRejected:
+                    rejected += 1
+        results = tuple(f.result() for f in futures)
+        wall = time.perf_counter() - t0
+        return ReplayResult(
+            issued=len(futures) + rejected,
+            completed=len(results),
+            rejected=rejected,
+            wall_seconds=wall,
+            results=results,
+            snapshot=self._window_snapshot(cache_before),
+        )
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Current-window metrics with cache accounting attached."""
+        return self.metrics.snapshot(self._cache_stats())
+
+    def _window_snapshot(self, cache_before) -> MetricsSnapshot:
+        """Snapshot whose cache stats cover only the window since
+        ``cache_before`` — a replay's report must describe that replay,
+        not cache activity accumulated over the service's lifetime."""
+        now = self._cache_stats()
+        if now is None:
+            return self.metrics.snapshot(None)
+        return self.metrics.snapshot(
+            now.since(cache_before) if cache_before is not None else now
+        )
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class LayoutService(ReplayableService):
     """Thread-safe query-serving facade over one physical layout.
 
     Parameters
@@ -174,17 +333,10 @@ class LayoutService:
         # pre-prune candidate count, post-SMA survivor BIDs).  Repeated
         # predicate shapes skip both the tree walk and the per-block
         # min-max intersection, the two Python-level costs that dwarf
-        # the vectorized scan itself.  Bounded (FIFO eviction) so a
-        # long-lived service under ad-hoc traffic cannot grow without
-        # limit.  Misses compute outside the lock — a racing duplicate
-        # computation is benign — with a separate small lock guarding
-        # the router's internal latency state.
-        self._route_lock = threading.Lock()
+        # the vectorized scan itself.  A separate small lock guards the
+        # router's internal latency state on misses.
         self._router_lock = threading.Lock()
-        self._route_memo: "OrderedDict[Predicate, Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]]" = (
-            OrderedDict()
-        )
-        self._route_memo_cap = 16384
+        self._route_memo = RouteMemo()
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -195,13 +347,13 @@ class LayoutService:
     ) -> Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]:
         """Routed BIDs, candidate count, and SMA survivors — memoized
         so repeated predicate shapes cost two dict lookups."""
-        key = query.predicate
-        with self._route_lock:
-            hit = self._route_memo.get(key)
-            if hit is not None:
-                return hit
-        # Miss: the tree walk and per-block pruning run outside the
-        # memo lock so they never stall concurrent memo hits.
+        return self._route_memo.get_or_compute(
+            query.predicate, lambda: self._compute_route(query)
+        )
+
+    def _compute_route(
+        self, query: Query
+    ) -> Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]:
         if self.router is not None:
             with self._router_lock:
                 routed: Optional[Tuple[int, ...]] = self.router.route(
@@ -212,12 +364,7 @@ class LayoutService:
             routed = None
             considered = self.store.num_blocks
         survivors = tuple(self.engine.prune_blocks(query, routed))
-        entry = (routed, considered, survivors)
-        with self._route_lock:
-            self._route_memo[key] = entry
-            while len(self._route_memo) > self._route_memo_cap:
-                self._route_memo.popitem(last=False)
-        return entry
+        return (routed, considered, survivors)
 
     def _serve(self, sql: str, admitted_at: float) -> ServeResult:
         planned = self.planner.plan(sql)
@@ -251,94 +398,56 @@ class LayoutService:
         )
 
     # ------------------------------------------------------------------
-    # Workload replay
+    # Shard-facing scan path (scatter-gather coordination)
     # ------------------------------------------------------------------
 
-    def run_closed_loop(
-        self, statements: Sequence[str], repeat: int = 1
-    ) -> ReplayResult:
-        """Replay ``statements`` ``repeat`` times through the pool.
+    def scan_pruned(
+        self, query: Query, survivors: Sequence[int], blocks_considered: int
+    ) -> QueryStats:
+        """Scan an already-routed/pruned survivor list on the caller's
+        thread, recording into this service's metrics.
 
-        Closed-loop: submission back-pressures on the admission queue,
-        so the offered load always matches what the pool sustains.
+        This is the per-shard execution entry a scatter-gather
+        coordinator uses: the coordinator owns planning, routing and
+        the survivor memo; the shard owns the scan, its buffer pool
+        and its local accounting.
         """
-        self.metrics.reset()
-        cache_before = self.cache.stats() if self.cache is not None else None
         t0 = time.perf_counter()
-        futures = []
-        for _ in range(repeat):
-            for sql in statements:
-                futures.append(self.submit_sql(sql))
-        results = tuple(f.result() for f in futures)
-        wall = time.perf_counter() - t0
-        return ReplayResult(
-            issued=len(futures),
-            completed=len(results),
-            rejected=0,
-            wall_seconds=wall,
-            results=results,
-            snapshot=self._window_snapshot(cache_before),
+        stats = self.engine.execute_pruned(query, survivors, blocks_considered)
+        self.metrics.record(time.perf_counter() - t0, stats)
+        return stats
+
+    def submit_pruned(
+        self,
+        query: Query,
+        survivors: Sequence[int],
+        blocks_considered: int,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ):
+        """Admit a pre-pruned scan to this service's scheduler."""
+        return self.scheduler.submit(
+            self.scan_pruned,
+            query,
+            survivors,
+            blocks_considered,
+            block=block,
+            timeout=timeout,
         )
 
-    def run_open_loop(
-        self, statements: Sequence[str], target_qps: float, repeat: int = 1
-    ) -> ReplayResult:
-        """Replay at a fixed arrival rate, shedding load when full.
-
-        Open-loop: arrivals are paced at ``target_qps`` regardless of
-        completions; a full admission queue rejects the arrival (the
-        client sees an error, the system stays stable).
-        """
-        if target_qps <= 0:
-            raise ValueError("target_qps must be > 0")
-        self.metrics.reset()
-        cache_before = self.cache.stats() if self.cache is not None else None
-        interval = 1.0 / target_qps
-        t0 = time.perf_counter()
-        futures = []
-        rejected = 0
-        arrival = t0
-        for i in range(repeat):
-            for sql in statements:
-                now = time.perf_counter()
-                if now < arrival:
-                    time.sleep(arrival - now)
-                arrival += interval
-                try:
-                    futures.append(self.submit_sql(sql, block=False))
-                except AdmissionRejected:
-                    rejected += 1
-        results = tuple(f.result() for f in futures)
-        wall = time.perf_counter() - t0
-        return ReplayResult(
-            issued=len(futures) + rejected,
-            completed=len(results),
-            rejected=rejected,
-            wall_seconds=wall,
-            results=results,
-            snapshot=self._window_snapshot(cache_before),
-        )
+    def collect_row_ids(self, sql: str):
+        """Matched original-table row ids for one statement (sorted,
+        deduped); requires blocks built with row-id provenance."""
+        planned = self.planner.plan(sql)
+        _routed, _, survivors = self._route(planned.query)
+        return self.engine.collect_row_ids(planned.query, survivors, pruned=True)
 
     # ------------------------------------------------------------------
     # Observability & lifecycle
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> MetricsSnapshot:
-        """Current-window metrics with cache accounting attached."""
-        return self.metrics.snapshot(
-            self.cache.stats() if self.cache is not None else None
-        )
-
-    def _window_snapshot(self, cache_before) -> MetricsSnapshot:
-        """Snapshot whose cache stats cover only the window since
-        ``cache_before`` — a replay's report must describe that replay,
-        not cache activity accumulated over the service's lifetime."""
-        if self.cache is None:
-            return self.metrics.snapshot(None)
-        now = self.cache.stats()
-        return self.metrics.snapshot(
-            now.since(cache_before) if cache_before is not None else now
-        )
+    def _cache_stats(self) -> Optional["CacheStats"]:
+        return self.cache.stats() if self.cache is not None else None
 
     def report(self) -> str:
         """Operator-facing text report for the current window."""
@@ -357,9 +466,3 @@ class LayoutService:
 
     def close(self) -> None:
         self.scheduler.shutdown()
-
-    def __enter__(self) -> "LayoutService":
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.close()

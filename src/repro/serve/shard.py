@@ -1,0 +1,445 @@
+"""Sharded scatter-gather serving over a partitioned block store.
+
+:class:`ShardedLayoutService` is the first multi-service topology in
+the codebase: it splits a finished :class:`~repro.storage.blocks.
+BlockStore` into N disjoint shards (round-robin by BID, or by qd-tree
+subtree to preserve routing locality), runs one full
+:class:`~repro.serve.service.LayoutService` — engine, buffer pool,
+scheduler, metrics — per shard, and fronts them with a scatter-gather
+coordinator::
+
+    SQL text
+      -> SqlPlanner            (shared, memoized)
+      -> coordinator routing   (one tree walk + SMA prune per unique
+                                predicate, memoized as per-shard
+                                survivor lists)
+      -> scatter               (submit shard-local scans ONLY to the
+                                shards owning surviving blocks)
+      -> gather + merge        (per-shard QueryStats folded into one
+                                result with the same ``result_key`` as
+                                unsharded execution)
+
+Partition-strategy trade-offs (see also
+:func:`repro.core.router.subtree_shard_assignment`):
+
+* ``"rr"`` (round-robin) balances block counts and rows across shards
+  regardless of layout shape, and spreads every query's survivors over
+  all shards — maximum intra-query parallelism, but every query pays
+  coordination with every shard.
+* ``"subtree"`` cuts the qd-tree's left-to-right leaf order into
+  contiguous runs of near-equal row weight, so neighbouring leaves
+  (which selective queries co-touch) land on the same shard — fan-out
+  per query is small, at the risk of a hot subtree skewing load onto
+  one shard.
+
+Correctness bar: for every query, the merged stats must be
+bit-identical (``QueryStats.result_key``) to the unsharded
+:class:`LayoutService` and to serial uncached execution — the
+differential suite in ``tests/test_shard_differential.py`` enforces
+this, in the spirit of partition-aware query answering where the
+partitioned plan is *proved* equivalent to the unpartitioned one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.router import QueryRouter, subtree_shard_assignment
+from ..core.tree import QdTree
+from ..core.workload import Query
+from ..engine.executor import QueryStats
+from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..sql.planner import SqlPlanner
+from ..storage.blocks import BlockStore
+from .cache import CacheStats
+from .metrics import MetricsSnapshot, ServingMetrics
+from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
+from .service import (
+    DEFAULT_CACHE_BUDGET,
+    LayoutService,
+    ReplayableService,
+    RouteMemo,
+    ServeResult,
+)
+
+__all__ = ["ShardSnapshot", "ShardedLayoutService"]
+
+#: Route-memo entry: (routed BIDs or None, deduped global candidate
+#: count, per-shard SMA-surviving BID tuples, per-shard pre-prune
+#: candidate counts, owning shard indices).
+_RouteEntry = Tuple[
+    Optional[Tuple[int, ...]],
+    int,
+    Tuple[Tuple[int, ...], ...],
+    Tuple[int, ...],
+    Tuple[int, ...],
+]
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's point-in-time observability bundle."""
+
+    shard: int
+    num_blocks: int
+    metrics: MetricsSnapshot
+    scheduler: SchedulerStats
+
+
+class ShardedLayoutService(ReplayableService):
+    """Scatter-gather front end over N per-shard :class:`LayoutService`.
+
+    Parameters
+    ----------
+    store:
+        The full layout's block store; partitioned across shards at
+        construction (blocks are shared by reference, never copied).
+    tree:
+        Optional qd-tree.  Routing happens once, at the coordinator;
+        shards never re-route (they are built without routers).
+        Required for ``partition="subtree"``.
+    num_shards:
+        Shard count.  ``1`` degenerates to a coordinator in front of a
+        single service (useful as a like-for-like scaling baseline).
+    partition:
+        ``"rr"`` or ``"subtree"`` — see the module docstring for the
+        trade-offs.
+    cache_budget_bytes:
+        TOTAL buffer-pool budget, split evenly across shards (each
+        shard machine owns its memory in a real deployment).
+        ``0``/``None`` disables caching on every shard.
+    max_workers_per_shard / queue_depth:
+        Per-shard scheduler sizing.
+    coordinator_workers:
+        Front-end admission pool size; defaults to
+        ``num_shards * max_workers_per_shard`` so coordinator threads
+        (which block gathering shard futures) can keep every shard
+        worker busy.
+    planner:
+        Shared planner; pass the build workload's planner whenever the
+        layout used advanced cuts (same caveat as
+        :class:`LayoutService`).
+    """
+
+    def __init__(
+        self,
+        store: BlockStore,
+        tree: Optional[QdTree] = None,
+        num_shards: int = 2,
+        partition: str = "rr",
+        profile: CostProfile = SPARK_PARQUET,
+        num_advanced_cuts: int = 0,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers_per_shard: int = 2,
+        queue_depth: int = 64,
+        coordinator_workers: Optional[int] = None,
+        planner: Optional[SqlPlanner] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if partition not in ("rr", "subtree"):
+            raise ValueError(f"unknown partition strategy {partition!r}")
+        if partition == "subtree" and tree is None:
+            raise ValueError("partition='subtree' requires a qd-tree")
+        self.store = store
+        self.num_shards = num_shards
+        self.partition = partition
+        self.profile = profile
+        self.planner = planner if planner is not None else SqlPlanner(store.schema)
+
+        if partition == "subtree":
+            assert tree is not None
+            assignment = subtree_shard_assignment(
+                tree,
+                num_shards,
+                weights={b.block_id: b.num_rows for b in store},
+            )
+            shard_stores = store.partition(num_shards, assignment=assignment)
+        else:
+            shard_stores = store.partition(num_shards, strategy="rr")
+        self._shard_of: Dict[int, int] = {
+            bid: i for i, sub in enumerate(shard_stores) for bid in sub.bid_set
+        }
+        per_shard_budget = (
+            cache_budget_bytes // num_shards if cache_budget_bytes else None
+        )
+        self.shards: Tuple[LayoutService, ...] = tuple(
+            LayoutService(
+                sub,
+                tree=None,  # the coordinator owns routing
+                profile=profile,
+                num_advanced_cuts=num_advanced_cuts,
+                cache_budget_bytes=per_shard_budget,
+                max_workers=max_workers_per_shard,
+                queue_depth=queue_depth,
+                planner=self.planner,
+            )
+            for sub in shard_stores
+        )
+        self.router: Optional[QueryRouter] = (
+            QueryRouter(tree, max_latency_samples=10_000)
+            if tree is not None
+            else None
+        )
+        self.metrics = ServingMetrics()
+        self.scheduler = Scheduler(
+            max_workers=(
+                coordinator_workers
+                if coordinator_workers is not None
+                else num_shards * max_workers_per_shard
+            ),
+            queue_depth=queue_depth,
+        )
+        # Coordinator routing memo — same shared discipline as
+        # LayoutService's (see RouteMemo), with per-shard survivor
+        # lists as the payload.
+        self._router_lock = threading.Lock()
+        self._route_memo = RouteMemo()
+        # Scatter accounting: how many shards each query fanned out to.
+        self._fanout_lock = threading.Lock()
+        self._fanout_queries = 0
+        self._fanout_shards = 0
+
+    # ------------------------------------------------------------------
+    # Routing (coordinator-side, memoized with per-shard survivors)
+    # ------------------------------------------------------------------
+
+    def _route(self, query: Query) -> _RouteEntry:
+        return self._route_memo.get_or_compute(
+            query.predicate, lambda: self._compute_route(query)
+        )
+
+    def _compute_route(self, query: Query) -> _RouteEntry:
+        if self.router is not None:
+            with self._router_lock:
+                routed: Optional[Tuple[int, ...]] = self.router.route(
+                    query
+                ).block_ids
+            # Candidate count deduped against the *full* store: a BID
+            # can only be counted once no matter how shards partition
+            # (or a future layout replicates) it.
+            considered = len(set(routed) & self.store.bid_set)
+        else:
+            routed = None
+            considered = self.store.num_blocks
+        per_shard = tuple(
+            tuple(shard.engine.prune_blocks(query, routed))
+            for shard in self.shards
+        )
+        if routed is not None:
+            routed_set = set(routed)
+            shard_considered = tuple(
+                len(routed_set & shard.store.bid_set) for shard in self.shards
+            )
+        else:
+            shard_considered = tuple(
+                shard.store.num_blocks for shard in self.shards
+            )
+        owners = tuple(i for i, surv in enumerate(per_shard) if surv)
+        return (routed, considered, per_shard, shard_considered, owners)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather execution
+    # ------------------------------------------------------------------
+
+    def _merge(
+        self,
+        query: Query,
+        considered: int,
+        parts: Sequence[QueryStats],
+        wall_seconds: float,
+    ) -> QueryStats:
+        """Fold per-shard stats into one result.
+
+        Scan totals sum (shards own disjoint blocks); the candidate
+        count is the coordinator's deduped value; ``columns_read`` and
+        ``modeled_ms`` are recomputed from the merged totals exactly as
+        the unsharded scan computes them, so ``result_key()`` comes out
+        bit-identical to single-service execution.
+        """
+        filter_columns = sorted(query.predicate.referenced_columns())
+        scan_columns = sorted(set(filter_columns) | set(query.scan_columns()))
+        if not self.profile.columnar:
+            scan_columns = list(self.store.schema.column_names)
+        blocks_scanned = sum(p.blocks_scanned for p in parts)
+        tuples_scanned = sum(p.tuples_scanned for p in parts)
+        rows_returned = sum(p.rows_returned for p in parts)
+        bytes_read = sum(p.bytes_read for p in parts)
+        return QueryStats(
+            query_name=query.name,
+            template=query.template,
+            blocks_considered=considered,
+            blocks_scanned=blocks_scanned,
+            tuples_scanned=tuples_scanned,
+            rows_returned=rows_returned,
+            columns_read=len(scan_columns),
+            modeled_ms=self.profile.modeled_ms(
+                blocks_scanned=blocks_scanned,
+                tuples_scanned=tuples_scanned,
+                columns_read=len(scan_columns),
+            ),
+            wall_seconds=wall_seconds,
+            bytes_read=bytes_read,
+        )
+
+    def _serve(self, sql: str, admitted_at: float) -> ServeResult:
+        planned = self.planner.plan(sql)
+        query = planned.query
+        routed, considered, per_shard, shard_considered, owners = self._route(
+            query
+        )
+        t0 = time.perf_counter()
+        # Scatter: only shards owning surviving blocks see the query.
+        # Two-phase so one saturated shard cannot head-of-line-block
+        # the fan-out: a non-blocking pass dispatches to every shard
+        # with admission room first, then the stragglers are waited on.
+        futures = {}
+        deferred = []
+        for i in owners:
+            try:
+                futures[i] = self.shards[i].submit_pruned(
+                    query, per_shard[i], shard_considered[i], block=False
+                )
+            except AdmissionRejected:
+                deferred.append(i)
+        for i in deferred:
+            futures[i] = self.shards[i].submit_pruned(
+                query, per_shard[i], shard_considered[i]
+            )
+        # Gather.
+        parts = [futures[i].result() for i in owners]
+        stats = self._merge(query, considered, parts, time.perf_counter() - t0)
+        latency = time.perf_counter() - admitted_at
+        self.metrics.record(latency, stats)
+        with self._fanout_lock:
+            self._fanout_queries += 1
+            self._fanout_shards += len(owners)
+        return ServeResult(
+            sql=sql,
+            stats=stats,
+            latency_seconds=latency,
+            routed_block_ids=routed,
+        )
+
+    def execute_sql(self, sql: str) -> ServeResult:
+        """Serve one statement, scattering from the caller's thread."""
+        return self._serve(sql, time.perf_counter())
+
+    def submit_sql(
+        self, sql: str, block: bool = True, timeout: Optional[float] = None
+    ):
+        """Admit one statement to the coordinator pool; returns its
+        future.  Coordinator workers scatter to shard pools and block
+        gathering — shard workers never wait on the coordinator, so the
+        two scheduler layers cannot deadlock."""
+        return self.scheduler.submit(
+            self._serve, sql, time.perf_counter(), block=block, timeout=timeout
+        )
+
+    def collect_row_ids(self, sql: str) -> np.ndarray:
+        """Matched original-table row ids, unioned across shards
+        (sorted, deduped); requires row-id provenance on the blocks."""
+        planned = self.planner.plan(sql)
+        _routed, _, per_shard, _considered, owners = self._route(planned.query)
+        parts = [
+            self.shards[i].engine.collect_row_ids(
+                planned.query, per_shard[i], pruned=True
+            )
+            for i in owners
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    def _cache_stats(self) -> Optional[CacheStats]:
+        parts = [s.cache.stats() for s in self.shards if s.cache is not None]
+        return CacheStats.merged(parts) if parts else None
+
+    def _reset_window(self) -> None:
+        self.metrics.reset()
+        for shard in self.shards:
+            shard.metrics.reset()
+        with self._fanout_lock:
+            self._fanout_queries = 0
+            self._fanout_shards = 0
+
+    def shard_snapshots(self) -> Tuple[ShardSnapshot, ...]:
+        """Per-shard metrics/scheduler snapshots (aggregate view comes
+        from :meth:`snapshot` / :meth:`scheduler_stats`)."""
+        return tuple(
+            ShardSnapshot(
+                shard=i,
+                num_blocks=service.store.num_blocks,
+                metrics=service.snapshot(),
+                scheduler=service.scheduler.stats(),
+            )
+            for i, service in enumerate(self.shards)
+        )
+
+    def scheduler_stats(self) -> Tuple[SchedulerStats, SchedulerStats]:
+        """(coordinator stats, aggregate-over-shards stats)."""
+        return (
+            self.scheduler.stats(),
+            SchedulerStats.merged([s.scheduler.stats() for s in self.shards]),
+        )
+
+    @property
+    def mean_fanout(self) -> float:
+        """Mean shards scattered to per query (the partition-locality
+        metric: lower means the strategy kept survivors together)."""
+        with self._fanout_lock:
+            if self._fanout_queries == 0:
+                return 0.0
+            return self._fanout_shards / self._fanout_queries
+
+    def report(self) -> str:
+        """Operator-facing text report: aggregate, then per shard."""
+        snap = self.snapshot()
+        coord, agg = self.scheduler_stats()
+        lines = [snap.report()]
+        lines.append(
+            f"topology           {self.num_shards} shards "
+            f"({self.partition}), mean fan-out {self.mean_fanout:.2f}"
+        )
+        lines.append(
+            f"coordinator        {coord.submitted} submitted / "
+            f"{coord.completed} completed / {coord.rejected} rejected "
+            f"(peak in-flight {coord.max_in_flight})"
+        )
+        lines.append(
+            f"shard pools        {agg.submitted} scans / "
+            f"{agg.completed} completed (peak in-flight {agg.max_in_flight})"
+        )
+        for s in self.shard_snapshots():
+            lines.append(
+                f"  shard {s.shard:<2} {s.num_blocks:>4} blocks  "
+                f"{s.metrics.queries:>6} scans  "
+                f"p50 {s.metrics.latency_p50_ms:.3f} ms  "
+                f"hit rate {100 * s.metrics.cache_hit_rate:.1f}%"
+            )
+        if self.router is not None:
+            lines.append(
+                f"route memo         {len(self._route_memo)} unique predicates"
+            )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+        for shard in self.shards:
+            shard.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLayoutService(shards={self.num_shards}, "
+            f"partition={self.partition!r}, "
+            f"blocks={self.store.num_blocks})"
+        )

@@ -51,11 +51,30 @@ class Block:
         table: Table,
         description: Optional[str] = None,
         with_dictionaries: bool = True,
+        row_ids: Optional[np.ndarray] = None,
     ) -> None:
         self.block_id = block_id
         self.schema = table.schema
         self.num_rows = table.num_rows
         self.description = description
+        # Optional provenance: original table row indices of this
+        # block's rows, in block row order.  In-memory only (not
+        # persisted by the catalog); differential test harnesses use it
+        # to compare matched row-id sets across execution topologies.
+        # An already-read-only int64 array is taken by reference (a
+        # builder can freeze its own fresh array to avoid a copy);
+        # anything still writeable is copied so the caller's array is
+        # never mutated.
+        if row_ids is not None:
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+            if len(row_ids) != table.num_rows:
+                raise ValueError(
+                    f"row_ids length {len(row_ids)} != rows {table.num_rows}"
+                )
+            if row_ids.flags.writeable:
+                row_ids = row_ids.copy()
+                row_ids.setflags(write=False)
+        self.row_ids = row_ids
         self._chunks: Dict[str, EncodedChunk] = {
             name: encode_column(arr) for name, arr in table.columns().items()
         }
@@ -146,13 +165,16 @@ class BlockStore:
         block_ids: np.ndarray,
         descriptions: Optional[Mapping[int, str]] = None,
         with_dictionaries: bool = True,
+        with_row_ids: bool = True,
     ) -> "BlockStore":
         """Build a store from a per-row BID assignment.
 
         This is the "partition the dataset by the BID field" step of
         Sec. 3.1.  ``block_ids`` may contain any non-negative ints; BIDs
         are used as given (no re-densification) so they can match
-        qd-tree leaf ids.
+        qd-tree leaf ids.  ``with_row_ids=False`` skips row-id
+        provenance (8 bytes/row) for builds that will never need
+        row-level differential checks.
         """
         block_ids = np.asarray(block_ids)
         if len(block_ids) != table.num_rows:
@@ -163,14 +185,23 @@ class BlockStore:
             raise ValueError("negative block id in assignment")
         blocks = []
         for bid in np.unique(block_ids):
-            rows = table.filter(block_ids == bid)
+            member = block_ids == bid
+            rows = table.filter(member)
             desc = descriptions.get(int(bid)) if descriptions else None
+            if with_row_ids:
+                # Freeze our own fresh array so Block takes it by
+                # reference instead of copying.
+                ids: Optional[np.ndarray] = np.flatnonzero(member)
+                ids.setflags(write=False)
+            else:
+                ids = None
             blocks.append(
                 Block(
                     int(bid),
                     rows,
                     description=desc,
                     with_dictionaries=with_dictionaries,
+                    row_ids=ids,
                 )
             )
         return cls(table.schema, blocks, logical_rows=table.num_rows)
@@ -220,6 +251,67 @@ class BlockStore:
             return list(self._blocks)
         wanted = set(block_ids) & self._bid_set
         return [self._by_id[bid] for bid in sorted(wanted)]
+
+    # ------------------------------------------------------------------
+    # Partitioning (sharded serving)
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        num_shards: int,
+        strategy: str = "rr",
+        assignment: Optional[Mapping[int, int]] = None,
+    ) -> List["BlockStore"]:
+        """Split into ``num_shards`` disjoint stores sharing the same
+        :class:`Block` objects (no data is copied).
+
+        Strategies
+        ----------
+        ``"rr"``
+            Round-robin by BID order: shard ``i`` owns every
+            ``num_shards``-th block.  Balances block counts regardless
+            of layout shape but scatters neighbouring qd-tree leaves
+            across shards.
+        ``"assigned"``
+            An explicit BID -> shard mapping supplied via
+            ``assignment`` (how the qd-tree subtree strategy is
+            expressed; see
+            :func:`repro.core.router.subtree_shard_assignment`).
+            Every BID in the store must be mapped to a shard in
+            ``[0, num_shards)``.
+
+        Every shard keeps its own ``bid_set``, so per-shard membership
+        checks and SMA pruning see only shard-local blocks.  Shard
+        ``logical_rows`` is its stored row count: with replicated
+        layouts the parent's logical/stored distinction is a property
+        of the whole layout, not of any one shard.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if assignment is not None:
+            strategy = "assigned"
+        if strategy == "rr":
+            shard_of = {
+                bid: i % num_shards for i, bid in enumerate(self.block_ids)
+            }
+        elif strategy == "assigned":
+            if assignment is None:
+                raise ValueError("strategy 'assigned' requires an assignment")
+            missing = self._bid_set - set(assignment)
+            if missing:
+                raise ValueError(f"assignment missing BIDs: {sorted(missing)}")
+            shard_of = {bid: int(assignment[bid]) for bid in self.block_ids}
+            bad = {s for s in shard_of.values() if not 0 <= s < num_shards}
+            if bad:
+                raise ValueError(
+                    f"shard indices {sorted(bad)} out of range [0, {num_shards})"
+                )
+        else:
+            raise ValueError(f"unknown partition strategy {strategy!r}")
+        members: List[List[Block]] = [[] for _ in range(num_shards)]
+        for block in self._blocks:
+            members[shard_of[block.block_id]].append(block)
+        return [BlockStore(self.schema, blocks) for blocks in members]
 
     def min_block_size(self) -> int:
         """Smallest block's row count (to verify the ``b`` constraint)."""

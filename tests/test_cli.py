@@ -172,6 +172,27 @@ class TestServeBench:
         assert "serial uncached baseline" in out
         assert "serving speedup" in out
 
+    @pytest.mark.parametrize("partition", ["rr", "subtree"])
+    def test_sharded_replay_and_compare(self, layout_dir, partition, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--shards", "2",
+                "--partition", partition,
+                "--threads", "2",
+                "--repeat", "3",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"topology           2 shards ({partition})" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "1-shard service" in out
+        assert "sharded (2 shards) speedup" in out
+        assert "serial uncached baseline" in out
+
     def test_no_cache_and_open_loop(self, layout_dir, capsys):
         code = main(
             [

@@ -244,6 +244,38 @@ class TestBlockCache:
         assert cache.invalidate() == 1
         assert cache.stats().cached_bytes == 0
 
+    def test_eviction_deterministic_under_equal_recency_ties(self, store):
+        """Columns read by one call are equally recent; eviction among
+        them must not depend on the order the caller listed the names,
+        so two runs of the same workload leave identical cache state."""
+        one = store.block(0).decoded_nbytes(["x"])
+
+        def run(names_first_call):
+            cache = BlockCache(budget_bytes=3 * one)
+            cache.read_columns(store.block(0), names_first_call)
+            cache.read_columns(store.block(1), ["x"])  # forces 1 eviction
+            cache.read_columns(store.block(2), ["x"])  # forces another
+            stats = cache.stats()
+            survivors = sorted(cache._entries)
+            return stats.evictions, survivors, stats.cached_bytes
+
+        forward = run(["x", "y"])
+        backward = run(["y", "x"])
+        assert forward == backward
+        # The tie-break is sorted-name order: within block 0's batch,
+        # "x" is older than "y", so "x" is the first LRU victim.
+        evictions, survivors, _ = forward
+        assert evictions == 1
+        assert (0, "x") not in survivors
+        assert (0, "y") in survivors
+
+    def test_duplicate_names_counted_once(self, store):
+        cache = BlockCache(budget_bytes=1 << 20)
+        out = cache.read_columns(store.block(0), ["x", "x", "y"])
+        assert set(out) == {"x", "y"}
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 2
+
     def test_concurrent_readers_consistent(self, store):
         cache = BlockCache(budget_bytes=1 << 20)
         errors = []
@@ -297,6 +329,28 @@ class TestScheduler:
 
 
 class TestServingMetrics:
+    def test_empty_window_snapshot_is_all_zeros(self):
+        """snapshot() before any query must return zeros (percentiles
+        included), never raise on the zero-length latency sample."""
+        metrics = ServingMetrics()
+        snap = metrics.snapshot()
+        assert snap.queries == 0
+        assert snap.qps == 0.0
+        assert snap.window_seconds == 0.0
+        assert (
+            snap.latency_mean_ms,
+            snap.latency_p50_ms,
+            snap.latency_p95_ms,
+            snap.latency_p99_ms,
+        ) == (0.0, 0.0, 0.0, 0.0)
+        assert "p95" in snap.report()  # report renders the zeros too
+
+    def test_empty_window_snapshot_keeps_cache_stats(self):
+        cache = BlockCache(budget_bytes=1 << 20)
+        snap = ServingMetrics().snapshot(cache.stats())
+        assert snap.cache is not None
+        assert snap.cache_hit_rate == 0.0
+
     def test_percentiles_and_counts(self):
         metrics = ServingMetrics()
         from repro.engine import QueryStats
