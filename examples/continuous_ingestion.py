@@ -2,76 +2,89 @@
 
 The paper's Problem 2 (Sec. 2.1): learn a partitioning function from
 offline data, then apply it to newly arriving tuples — saving the cost
-of reshuffling.  A frozen qd-tree is exactly such a function.
+of reshuffling.  A frozen qd-tree is exactly such a function, and
+:meth:`repro.db.Database.ingest` wraps the whole loop:
 
-This example:
-
-1. learns a qd-tree on an initial "offline" day of log data,
-2. streams seven more days through an
-   :class:`~repro.core.ingest.IngestionPipeline` in small batches,
-3. materializes the resulting block store and shows that skipping
-   quality on the *streamed* data matches the offline estimate
-   (same-distribution assumption),
-4. demonstrates the drift failure mode: data from a shifted
+1. learn a qd-tree layout on an initial "offline" day of log data
+   through the :class:`~repro.db.Database` facade,
+2. stream seven more days through ``db.ingest`` in daily batches —
+   each batch is routed through the learned tree (via
+   :class:`~repro.core.ingest.IngestionPipeline`) and merged into a
+   NEW layout generation, automatically invalidating every cached
+   query result from older generations,
+3. show that skipping quality on the grown store matches the offline
+   estimate (same-distribution assumption) and that a query repeated
+   across generations is re-executed, never served stale,
+4. demonstrate the drift failure mode: data from a shifted
    distribution degrades skipping, signalling it is time to re-learn.
 
-Run:  python examples/continuous_ingestion.py
+Run:  python examples/continuous_ingestion.py [--rows 30000] [--batch 5000]
 """
+
+import argparse
 
 import numpy as np
 
-from repro.bench import materialize_tree
-from repro.core import (
-    CutRegistry,
-    GreedyConfig,
-    IngestionPipeline,
-    QueryRouter,
-    build_greedy_tree,
-    leaf_sizes,
-    scan_ratio,
-)
-from repro.engine import SPARK_PARQUET, ScanEngine, WorkloadReport
+from repro.core import leaf_sizes, scan_ratio
+from repro.db import Database
+from repro.storage import Table
 from repro.workloads import errorlog_int_dataset
 from repro.workloads.errorlog import _build_int_table  # same generator
 
 
 def main() -> None:
-    # Day 0: offline data + workload -> learned tree.
-    offline = errorlog_int_dataset(num_rows=30_000, num_queries=200, seed=0)
-    registry = offline.registry()
-    tree = build_greedy_tree(
-        offline.schema, registry, offline.table, offline.workload,
-        GreedyConfig(max(offline.min_block_size, 32)),
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=30_000,
+                        help="offline (day 0) rows")
+    parser.add_argument("--batch", type=int, default=5_000,
+                        help="rows per streamed day")
+    parser.add_argument("--queries", type=int, default=200)
+    args = parser.parse_args()
+
+    # Day 0: offline data + workload -> learned layout, generation 1.
+    offline = errorlog_int_dataset(
+        num_rows=args.rows, num_queries=args.queries, seed=0
     )
-    sizes = leaf_sizes(tree, offline.table)
-    offline_ratio = scan_ratio(tree, offline.workload, sizes)
-    print(f"learned tree: {len(tree.leaves())} blocks; "
+    db = Database.from_table(
+        offline.table, min_block_size=max(offline.min_block_size, 32)
+    )
+    handle = db.build_layout("greedy", workload=offline.workload)
+    assert handle.tree is not None
+    sizes = leaf_sizes(handle.tree, offline.table)
+    offline_ratio = scan_ratio(handle.tree, offline.workload, sizes)
+    print(f"learned layout (gen {handle.generation}): "
+          f"{handle.num_blocks} blocks; "
           f"offline scan ratio {100 * offline_ratio:.3f}%")
 
-    # Days 1-7: stream same-distribution batches through the pipeline.
-    pipeline = IngestionPipeline(tree, segment_rows=2000)
+    # A query served at generation 1 populates the result cache.
+    probe_sql = "SELECT * FROM log WHERE os_build_date < 25"
+    first = db.execute(probe_sql)
+    print(f"probe at gen 1: {first.stats.rows_returned} rows "
+          f"({first.stats.tuples_scanned} tuples scanned)")
+
+    # Days 1-7: stream same-distribution batches through db.ingest —
+    # routed by the learned tree, merged, generation bumped, caches
+    # invalidated.
     rng = np.random.default_rng(99)
     for day in range(1, 8):
-        batch = _build_int_table(5000, rng)
-        pipeline.ingest(batch)
-    store = pipeline.finish()
-    print(f"ingested {pipeline.rows_ingested} rows into "
-          f"{store.num_blocks} blocks "
-          f"({len(pipeline.segments)} segments) at "
-          f"{pipeline.routing_throughput / 1000:.0f}K records/s")
+        batch = _build_int_table(args.batch, rng)
+        handle = db.ingest(batch)
+    store = handle.store
+    print(f"ingested {7 * args.batch} rows -> gen {handle.generation}, "
+          f"{store.num_blocks} blocks, {store.logical_rows} total rows")
 
-    # Query the streamed data: quality should match the offline layout.
-    merged = None
-    streamed = store
-    router = QueryRouter(tree)
-    engine = ScanEngine(streamed, SPARK_PARQUET)
-    stats = []
-    for query in offline.workload:
-        routed = router.route(query)
-        stats.append(engine.execute(query, routed.block_ids))
-    report = WorkloadReport("streamed", stats)
-    streamed_pct = report.access_percentage(streamed.logical_rows)
-    print(f"streamed-data access: {streamed_pct:.3f}% "
+    # The same probe is re-executed against the grown store: the gen-1
+    # cache entry was invalidated, so the row count reflects ALL data.
+    again = db.execute(probe_sql)
+    print(f"probe at gen {handle.generation}: "
+          f"{again.stats.rows_returned} rows "
+          f"(was {first.stats.rows_returned} — stale results impossible, "
+          f"cache invalidated {db.result_cache.stats().invalidated} entries)")
+
+    # Quality on the grown store matches the offline estimate.
+    grown_sizes = leaf_sizes(handle.tree, db.table)
+    grown_ratio = scan_ratio(handle.tree, offline.workload, grown_sizes)
+    print(f"grown-store scan ratio: {100 * grown_ratio:.3f}% "
           f"(offline estimate {100 * offline_ratio:.3f}%)")
 
     # Drift: rows from a different distribution.  The tree still
@@ -80,14 +93,14 @@ def main() -> None:
     # it scatters each version across every build-date region, so
     # queries must touch far more blocks.
     drift_rng = np.random.default_rng(7)
-    drifted_rows = _build_int_table(20_000, drift_rng)
+    drifted_rows = _build_int_table(4 * args.batch, drift_rng)
     shifted = drifted_rows.columns()
     shifted["os_build_date"] = drift_rng.permutation(shifted["os_build_date"])
     shifted["report_bucket"] = drift_rng.permutation(shifted["report_bucket"])
-    from repro.storage import Table
-
     drifted = Table(offline.schema, shifted)
-    drift_ratio = scan_ratio(tree, offline.workload, leaf_sizes(tree, drifted))
+    drift_ratio = scan_ratio(
+        handle.tree, offline.workload, leaf_sizes(handle.tree, drifted)
+    )
     print(f"after correlation drift: {100 * drift_ratio:.3f}% "
           f"(vs {100 * offline_ratio:.3f}% — re-learning advised)")
 

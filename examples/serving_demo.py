@@ -1,20 +1,20 @@
 """Serving demo: a qd-tree layout behind the concurrent serving tier.
 
-Builds a TPC-H-style layout with Greedy, stands up a
-:class:`repro.serve.LayoutService` in front of it (thread-pool
-scheduler + buffer-pool cache + routing memo), replays a mixed SQL
-workload from concurrent worker threads, and prints the serving
-metrics report — QPS, latency percentiles, cache hit rate — plus the
-speedup over the pre-serving serial path (route + prune + decode every
-arrival from scratch).
+Builds a TPC-H-style layout through the :class:`repro.db.Database`
+facade, stands up the serving tier in front of it (thread-pool
+scheduler + buffer-pool cache + routing memo + generation-keyed result
+cache), replays a mixed SQL workload from concurrent worker threads,
+and prints the serving metrics report — QPS, latency percentiles,
+cache hit rate — plus the speedup over the pre-serving serial path
+(route + prune + decode every arrival from scratch).
 
 Run:  python examples/serving_demo.py [--rows 50000] [--threads 8] [--repeat 20]
 """
 
 import argparse
 
-from repro.bench import build_greedy_layout
-from repro.serve import LayoutService, run_serial_baseline
+from repro.db import Database
+from repro.serve import run_serial_baseline
 from repro.workloads import tpch_dataset
 
 #: A mixed workload over the denormalized lineitem schema: date-range
@@ -43,23 +43,26 @@ def main() -> None:
     args = parser.parse_args()
 
     dataset = tpch_dataset(num_rows=args.rows, seeds_per_template=2, seed=0)
-    layout = build_greedy_layout(dataset)
-    print(f"layout: {layout.store.num_blocks} blocks over "
-          f"{layout.store.logical_rows} rows\n")
+    db = Database.from_table(
+        dataset.table, min_block_size=dataset.min_block_size
+    )
+    layout = db.build_layout("greedy", workload=dataset.workload)
+    print(f"layout: {layout.num_blocks} blocks over "
+          f"{layout.store.logical_rows} rows "
+          f"(generation {layout.generation})\n")
 
     # Baseline: what serving this workload cost before repro.serve —
     # every arrival routed, SMA-pruned and decoded from scratch,
     # one at a time.
     base_qps, _ = run_serial_baseline(
-        layout.store, layout.tree, STATEMENTS, repeat=args.repeat
+        layout.store, layout.tree, STATEMENTS, repeat=args.repeat,
+        planner=db.planner,
     )
     print(f"serial uncached baseline: {base_qps:.1f} qps")
 
     # The serving tier: same layout, same statements, replayed
     # closed-loop from worker threads.
-    with LayoutService(
-        layout.store,
-        layout.tree,
+    with db.serve(
         cache_budget_bytes=64 * 1024 * 1024,
         max_workers=args.threads,
     ) as service:

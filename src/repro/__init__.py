@@ -9,6 +9,12 @@ three evaluation workloads.
 
 Subpackages
 -----------
+``repro.db``
+    The unified :class:`~repro.db.Database` facade: tables, layouts
+    built through a pluggable string-keyed strategy registry,
+    monotonically increasing layout generations, persistence, serving
+    and a generation-keyed result cache with automatic invalidation
+    on ingest/layout swap.
 ``repro.core``
     Qd-tree, predicates, cost model, greedy construction, routers,
     overlap/replication extensions.
@@ -31,15 +37,27 @@ Subpackages
     Experiment harness and metrics used by the ``benchmarks/`` suite.
 """
 
-from . import baselines, bench, core, engine, rl, serve, sql, storage, workloads
+from . import (
+    baselines,
+    bench,
+    core,
+    db,
+    engine,
+    rl,
+    serve,
+    sql,
+    storage,
+    workloads,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "baselines",
     "bench",
     "core",
+    "db",
     "engine",
     "rl",
     "serve",

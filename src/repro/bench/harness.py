@@ -17,14 +17,13 @@ import numpy as np
 
 from ..core.cost import leaf_sizes, scan_ratio
 from ..core.cuts import CutRegistry
-from ..core.greedy import GreedyConfig, build_greedy_tree
 from ..core.router import QueryRouter
 from ..core.tree import QdTree
 from ..core.workload import Workload
 from ..engine.executor import ScanEngine
 from ..engine.profiles import SPARK_PARQUET, CostProfile
 from ..engine.stats import WorkloadReport
-from ..rl.woodblock import Woodblock, WoodblockConfig, WoodblockResult
+from ..rl.woodblock import WoodblockResult
 from ..storage.blocks import BlockStore
 from ..storage.table import Table
 from ..workloads.base import Dataset
@@ -78,20 +77,26 @@ def build_greedy_layout(
     sample_ratio: Optional[float] = None,
     label: str = "greedy",
 ) -> LayoutResult:
-    """Greedy qd-tree layout over the dataset."""
-    registry = registry if registry is not None else dataset.registry()
-    sample, b = sample_for_construction(dataset, sample_ratio)
-    t0 = time.perf_counter()
-    tree = build_greedy_tree(
-        dataset.schema,
-        registry,
-        sample,
-        dataset.workload,
-        GreedyConfig(min_leaf_size=b),
+    """Greedy qd-tree layout over the dataset.
+
+    .. deprecated::
+        Thin shim over ``Database.build_layout("greedy", ...)`` — the
+        facade (:class:`repro.db.Database`) is the canonical entry
+        point; this wrapper survives for the benchmark suite.
+    """
+    from ..db import Database
+
+    db = Database.from_table(
+        dataset.table, min_block_size=dataset.min_block_size
     )
-    build_seconds = time.perf_counter() - t0
-    store = materialize_tree(tree, dataset.table)
-    return LayoutResult(label, store, tree, build_seconds)
+    handle = db.build_layout(
+        "greedy",
+        workload=dataset.workload,
+        registry=registry,
+        sample_ratio=sample_ratio,
+        label=label,
+    )
+    return LayoutResult(label, handle.store, handle.tree, handle.build_seconds)
 
 
 def build_rl_layout(
@@ -104,22 +109,33 @@ def build_rl_layout(
     seed: int = 0,
     label: str = "woodblock",
 ) -> LayoutResult:
-    """Woodblock (RL) qd-tree layout over the dataset."""
-    registry = registry if registry is not None else dataset.registry()
-    sample, b = sample_for_construction(dataset, sample_ratio, seed=seed)
-    config = WoodblockConfig(
-        min_leaf_size=b,
+    """Woodblock (RL) qd-tree layout over the dataset.
+
+    .. deprecated::
+        Thin shim over ``Database.build_layout("woodblock", ...)`` —
+        see :func:`build_greedy_layout`.
+    """
+    from ..db import Database
+
+    db = Database.from_table(
+        dataset.table, min_block_size=dataset.min_block_size
+    )
+    handle = db.build_layout(
+        "woodblock",
+        workload=dataset.workload,
+        registry=registry,
+        sample_ratio=sample_ratio,
+        sample_seed=seed,
+        label=label,
         episodes=episodes,
         time_budget_seconds=time_budget_seconds,
         hidden_dim=hidden_dim,
         seed=seed,
     )
-    t0 = time.perf_counter()
-    agent = Woodblock(dataset.schema, registry, sample, dataset.workload, config)
-    result = agent.train()
-    build_seconds = time.perf_counter() - t0
-    store = materialize_tree(result.best_tree, dataset.table)
-    return LayoutResult(label, store, result.best_tree, build_seconds, result)
+    return LayoutResult(
+        label, handle.store, handle.tree, handle.build_seconds,
+        handle.diagnostics,
+    )
 
 
 def materialize_tree(tree: QdTree, table: Table) -> BlockStore:

@@ -1,4 +1,5 @@
-"""Command-line interface: learn, inspect and query qd-tree layouts.
+"""Command-line interface: learn, inspect and query layouts through
+the unified :class:`repro.db.Database` facade.
 
 Subcommands
 -----------
@@ -6,24 +7,32 @@ Subcommands
 ``build``
     Learn a layout for a saved table (see
     :func:`repro.storage.save_table`) from a file of SQL queries (one
-    per line), write the partitioned block store + tree next to it.
+    per line) with any registered layout strategy
+    (``--strategy greedy|woodblock|kdtree|hash|range|random|bottom_up``
+    — the registry in :mod:`repro.db.registry`), write the partitioned
+    block store + layout metadata (and the qd-tree, for tree
+    strategies) next to it.
 ``inspect``
-    Print a saved layout's block descriptions and cut histogram.
+    Print a saved layout's strategy, generation, block descriptions
+    and (for tree layouts) cut histogram.
 ``route``
     Route one SQL query against a saved layout: prints the pruned BID
     list and scan statistics.
 ``serve-bench``
     Replay a SQL workload against a saved layout through the
-    :mod:`repro.serve` serving tier (thread pool + buffer-pool cache)
-    and print the latency/throughput/cache report.  ``--shards N``
-    serves through the scatter-gather :class:`ShardedLayoutService`
-    (``--partition rr|subtree`` picks the shard assignment).
-    ``--compare`` also runs the serial uncached baseline — and, when
-    sharded, the 1-shard service — and prints the QPS speedups.
+    :mod:`repro.serve` serving tier (thread pool + buffer-pool cache +
+    generation-keyed result cache) and print the
+    latency/throughput/cache report.  ``--shards N`` serves through
+    the scatter-gather :class:`ShardedLayoutService` (``--partition
+    rr|subtree`` picks the shard assignment).  ``--compare`` also runs
+    the serial uncached baseline — and, when sharded, the 1-shard
+    service — and prints the QPS speedups.
 
 Example::
 
     python -m repro.cli build  --table t/ --queries wl.sql --out layout/
+    python -m repro.cli build  --table t/ --queries wl.sql \
+        --out layout-kd/ --strategy kdtree
     python -m repro.cli inspect --layout layout/
     python -m repro.cli route  --layout layout/ \
         --sql "SELECT * FROM t WHERE x < 10"
@@ -31,31 +40,24 @@ Example::
         --threads 8 --repeat 20 --compare
     python -m repro.cli serve-bench --layout layout/ \
         --shards 4 --partition subtree --compare
+
+Helpers raise :class:`ValueError` (so the same code paths are usable
+as a library); :func:`main` converts them to exit code 2 at the top
+level.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .bench.harness import materialize_tree
-from .core.greedy import GreedyConfig, build_greedy_tree
-from .core.router import QueryRouter
-from .core.tree import QdTree
-from .engine.executor import ScanEngine
-from .engine.profiles import SPARK_PARQUET
-from .rl.woodblock import Woodblock, WoodblockConfig
-from .serve import LayoutService, ShardedLayoutService, run_serial_baseline
-from .sql.planner import SqlPlanner
-from .storage.catalog import load_store, load_table, save_store
+from .db import Database, strategy_names
+from .serve import ResultCache, run_serial_baseline
+from .storage.catalog import load_table
 
 __all__ = ["main"]
-
-_TREE_FILE = "qdtree.json"
-_META_FILE = "layout-meta.json"
 
 
 def _read_queries(path: Path) -> List[str]:
@@ -65,118 +67,129 @@ def _read_queries(path: Path) -> List[str]:
         if line and not line.startswith("--"):
             statements.append(line)
     if not statements:
-        raise SystemExit(f"no queries found in {path}")
+        raise ValueError(f"no queries found in {path}")
     return statements
+
+
+def _strategy_options(args: argparse.Namespace) -> dict:
+    """Map CLI flags onto the chosen strategy's adapter options."""
+    if args.strategy == "woodblock":
+        return {
+            "episodes": args.episodes,
+            "hidden_dim": args.hidden_dim,
+            "seed": args.seed,
+        }
+    if args.strategy == "random":
+        return {"seed": args.seed}
+    return {}
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
     table = load_table(args.table)
-    planner = SqlPlanner(table.schema)
+    db = Database.from_table(table, min_block_size=args.min_block_size)
     statements = _read_queries(Path(args.queries))
-    workload = planner.plan_workload(statements)
-    registry = planner.candidate_cuts(workload)
+    workload = db.planner.plan_workload(statements)
+    registry = db.planner.candidate_cuts(workload)
     print(
         f"planned {len(workload)} queries -> {len(registry)} candidate cuts "
         f"({registry.num_advanced_cuts} advanced)"
     )
-    if args.method == "greedy":
-        tree = build_greedy_tree(
-            table.schema,
-            registry,
-            table,
-            workload,
-            GreedyConfig(min_leaf_size=args.min_block_size),
-        )
-    else:
-        agent = Woodblock(
-            table.schema,
-            registry,
-            table,
-            workload,
-            WoodblockConfig(
-                min_leaf_size=args.min_block_size,
-                episodes=args.episodes,
-                hidden_dim=args.hidden_dim,
-                seed=args.seed,
-            ),
-        )
-        result = agent.train()
-        tree = result.best_tree
+    handle = db.build_layout(
+        args.strategy,
+        workload=statements,
+        registry=registry,
+        **_strategy_options(args),
+    )
+    if args.strategy == "woodblock" and handle.diagnostics is not None:
+        result = handle.diagnostics
         print(
             f"trained {result.episodes_run} episodes; "
             f"best sample scan ratio {result.best_scan_ratio:.4f}"
         )
-    store = materialize_tree(tree, table)
     out = Path(args.out)
-    save_store(store, out)
-    tree.save(str(out / _TREE_FILE))
-    (out / _META_FILE).write_text(
-        json.dumps(
-            {
-                "method": args.method,
-                "min_block_size": args.min_block_size,
-                "num_blocks": store.num_blocks,
-                "queries": statements,
-            },
-            indent=2,
-        )
+    db.save(out)
+    print(
+        f"wrote {handle.store.num_blocks} blocks to {out}/ "
+        f"({handle.strategy}, generation {handle.generation})"
     )
-    print(f"wrote {store.num_blocks} blocks to {out}/")
     return 0
 
 
-def _load_layout(path: Path):
-    store = load_store(path)
-    meta = json.loads((path / _META_FILE).read_text())
-    planner = SqlPlanner(store.schema)
-    workload = planner.plan_workload(meta["queries"])
-    registry = planner.candidate_cuts(workload)
-    tree = QdTree.load(str(path / _TREE_FILE), store.schema, registry)
-    return store, tree, registry, planner, meta
-
-
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    store, tree, _, _, _ = _load_layout(Path(args.layout))
-    print(f"{store.num_blocks} blocks over {store.logical_rows} rows "
-          f"(tree depth {tree.depth()})")
-    print("\ncut histogram:")
-    for column, count in sorted(
-        tree.cut_histogram().items(), key=lambda kv: -kv[1]
-    ):
-        print(f"  {column:<20} {count}")
+    db = Database.open(Path(args.layout))
+    handle = db.active_layout
+    assert handle is not None
+    store = handle.store
+    header = (
+        f"{store.num_blocks} blocks over {store.logical_rows} rows "
+        f"({handle.strategy}, generation {handle.generation}"
+    )
+    if handle.tree is not None:
+        header += f", tree depth {handle.tree.depth()})"
+    else:
+        header += ")"
+    print(header)
+    if handle.tree is not None:
+        print("\ncut histogram:")
+        for column, count in sorted(
+            handle.tree.cut_histogram().items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {column:<20} {count}")
     print("\nblock descriptions:")
     sizes = {b.block_id: b.num_rows for b in store}
-    for bid, description in sorted(tree.leaf_descriptions().items()):
-        print(f"  block {bid} ({sizes.get(bid, 0)} rows): {description}")
+    descriptions = (
+        handle.tree.leaf_descriptions() if handle.tree is not None else {}
+    )
+    for bid in sorted(sizes):
+        description = descriptions.get(bid) or store.block(bid).description
+        print(
+            f"  block {bid} ({sizes[bid]} rows): "
+            f"{description or '(no description)'}"
+        )
     return 0
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    store, tree, registry, planner, _ = _load_layout(Path(args.layout))
-    planned = planner.plan(args.sql)
-    router = QueryRouter(tree)
-    routed = router.route(planned.query)
-    engine = ScanEngine(
-        store, SPARK_PARQUET, num_advanced_cuts=registry.num_advanced_cuts
+    db = Database.open(Path(args.layout))
+    result = db.execute(args.sql)
+    store = db.active_layout.store  # type: ignore[union-attr]
+    if result.routed_block_ids is not None:
+        print(
+            f"routed to {len(result.routed_block_ids)}/{store.num_blocks} "
+            f"blocks in {1000 * result.latency_seconds:.2f} ms"
+        )
+        print(
+            "BID IN ("
+            + ",".join(str(b) for b in result.routed_block_ids)
+            + ")"
+        )
+    else:
+        print(
+            f"no tree to route with; SMA pruning considered "
+            f"{store.num_blocks} blocks "
+            f"in {1000 * result.latency_seconds:.2f} ms"
+        )
+    print(
+        f"scanned {result.stats.tuples_scanned} tuples, "
+        f"returned {result.stats.rows_returned} rows"
     )
-    stats = engine.execute(planned.query, routed.block_ids)
-    print(f"routed to {len(routed.block_ids)}/{store.num_blocks} blocks "
-          f"in {1000 * routed.latency_seconds:.2f} ms")
-    print(f"BID IN ({','.join(str(b) for b in routed.block_ids)})")
-    print(f"scanned {stats.tuples_scanned} tuples, "
-          f"returned {stats.rows_returned} rows")
     return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    # Reuse the planner that planned the build workload so advanced-cut
-    # slot indices stay aligned with the layout's registry.
-    store, tree, registry, planner, meta = _load_layout(Path(args.layout))
+    db = Database.open(Path(args.layout))
+    handle = db.active_layout
+    assert handle is not None
     if args.queries:
         statements = _read_queries(Path(args.queries))
     else:
-        statements = meta["queries"]
+        statements = list(handle.statements)
+        if not statements:
+            raise ValueError(
+                "layout metadata has no build workload; pass --queries"
+            )
     cache_bytes = None if args.no_cache else args.cache_mb * 1024 * 1024
+    use_result_cache = not args.no_result_cache
 
     def replay_service(service):
         if args.mode == "open":
@@ -187,35 +200,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             replay = service.run_closed_loop(statements, repeat=args.repeat)
         return replay, service.report()
 
-    def make_single_service():
-        return LayoutService(
-            store,
-            tree,
-            num_advanced_cuts=registry.num_advanced_cuts,
+    def serve(shards: int):
+        # Comparison runs get a private result cache so one replay
+        # cannot pre-warm another's results.
+        return db.serve(
+            shards=shards,
+            partition=args.partition,
             cache_budget_bytes=cache_bytes,
             max_workers=args.threads,
             queue_depth=args.queue_depth,
-            planner=planner,
+            result_cache=ResultCache() if use_result_cache else False,
         )
 
-    if args.shards > 1:
-        # Scale-out topology: each shard gets --threads workers (a
-        # shard models a machine; adding shards adds capacity).
-        with ShardedLayoutService(
-            store,
-            tree,
-            num_shards=args.shards,
-            partition=args.partition,
-            num_advanced_cuts=registry.num_advanced_cuts,
-            cache_budget_bytes=cache_bytes,
-            max_workers_per_shard=args.threads,
-            queue_depth=args.queue_depth,
-            planner=planner,
-        ) as service:
-            replay, report = replay_service(service)
-    else:
-        with make_single_service() as service:
-            replay, report = replay_service(service)
+    with serve(args.shards) as service:
+        replay, report = replay_service(service)
     print(
         f"replayed {replay.completed}/{replay.issued} queries "
         f"({replay.rejected} rejected) in {replay.wall_seconds:.3f} s "
@@ -224,7 +222,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(report)
     if args.compare:
         if args.shards > 1:
-            with make_single_service() as single:
+            with serve(1) as single:
                 one_shard, _ = replay_service(single)
             ratio = (
                 replay.qps / one_shard.qps if one_shard.qps > 0 else float("inf")
@@ -232,12 +230,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"\n1-shard service: {one_shard.qps:.1f} qps")
             print(f"sharded ({args.shards} shards) speedup: {ratio:.2f}x")
         base_qps, _ = run_serial_baseline(
-            store,
-            tree,
+            handle.store,
+            handle.tree,
             statements,
             repeat=args.repeat,
-            planner=planner,
-            num_advanced_cuts=registry.num_advanced_cuts,
+            planner=db.planner,
+            num_advanced_cuts=handle.num_advanced_cuts,
         )
         speedup = replay.qps / base_qps if base_qps > 0 else float("inf")
         print(f"\nserial uncached baseline: {base_qps:.1f} qps")
@@ -258,12 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--queries", required=True,
                          help="file of SQL statements, one per line")
     p_build.add_argument("--out", required=True, help="output directory")
-    p_build.add_argument("--method", choices=("greedy", "woodblock"),
-                         default="greedy")
+    p_build.add_argument("--strategy", "--method", dest="strategy",
+                         choices=strategy_names(), default="greedy",
+                         metavar="STRATEGY",
+                         help="registered layout strategy: %(choices)s "
+                              "(--method is a deprecated alias)")
     p_build.add_argument("--min-block-size", type=int, default=1000)
-    p_build.add_argument("--episodes", type=int, default=100)
-    p_build.add_argument("--hidden-dim", type=int, default=128)
-    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--episodes", type=int, default=100,
+                         help="woodblock: training episodes")
+    p_build.add_argument("--hidden-dim", type=int, default=128,
+                         help="woodblock: policy network width")
+    p_build.add_argument("--seed", type=int, default=0,
+                         help="woodblock/random: RNG seed")
     p_build.set_defaults(func=_cmd_build)
 
     p_inspect = sub.add_parser("inspect", help="describe a saved layout")
@@ -289,6 +293,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="buffer-pool budget in MiB")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the buffer pool")
+    p_serve.add_argument("--no-result-cache", action="store_true",
+                         help="disable the generation-keyed result cache")
     p_serve.add_argument("--shards", type=int, default=1,
                          help="shard count; > 1 serves through the "
                               "scatter-gather ShardedLayoutService "
@@ -312,7 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Library-level errors (bad workload files, unknown strategies
+        # registered after parser construction, facade misuse) become
+        # exit codes here, not SystemExit deep in helpers.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

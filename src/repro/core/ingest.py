@@ -70,8 +70,14 @@ class IngestionPipeline:
 
     # ------------------------------------------------------------------
 
-    def ingest(self, batch: Table) -> np.ndarray:
-        """Route one batch; returns its per-row BIDs."""
+    def route(self, batch: Table) -> np.ndarray:
+        """Evaluate the learned partitioning function on one batch:
+        per-row BIDs, with routing-throughput accounting but WITHOUT
+        buffering the rows.  Callers that materialize blocks
+        themselves (e.g. :meth:`repro.db.Database.ingest`, which
+        merges into an existing store) use this; :meth:`ingest` layers
+        the per-leaf segment buffering on top.
+        """
         t0 = time.perf_counter()
         lut = np.full(self.tree.num_nodes, -1, dtype=np.int64)
         for leaf in self.tree.leaves():
@@ -81,6 +87,12 @@ class IngestionPipeline:
         bids = lut[leaf_ids]
         self._routing_seconds += time.perf_counter() - t0
         self._rows_ingested += batch.num_rows
+        return bids
+
+    def ingest(self, batch: Table) -> np.ndarray:
+        """Route one batch into the leaf buffers; returns its per-row
+        BIDs."""
+        bids = self.route(batch)
         for bid in np.unique(bids):
             rows = batch.filter(bids == bid)
             self._buffers.setdefault(int(bid), []).append(rows)

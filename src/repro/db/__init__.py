@@ -1,0 +1,43 @@
+"""Unified database facade over learned layouts.
+
+One coherent API for the whole lifecycle the paper's family of layout
+builders implies: :class:`Database` owns the logical table, builds
+layouts through the pluggable :class:`LayoutStrategy` registry
+(``greedy``, ``woodblock``, ``kdtree``, ``hash``, ``range``,
+``random``, ``bottom_up``), versions every layout with a monotonically
+increasing **generation** (:class:`LayoutHandle`), persists them
+through the storage catalog, serves them through :mod:`repro.serve`,
+and layers a generation-keyed result cache over everything so repeated
+queries skip routing, pruning and scanning — with invalidation tied to
+ingest and layout swaps.
+
+>>> db = Database.from_table(table, min_block_size=1000)
+>>> greedy = db.build_layout("greedy", workload=statements)
+>>> kdtree = db.build_layout("kdtree", activate=False)
+>>> db.execute("SELECT * FROM t WHERE x < 10").stats.tuples_scanned
+>>> with db.serve(shards=4, partition="subtree") as service:
+...     service.run_closed_loop(statements, repeat=20)
+"""
+
+from .database import Database, LayoutHandle
+from .registry import (
+    BuildContext,
+    BuiltLayout,
+    LayoutStrategy,
+    UnknownStrategyError,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "BuildContext",
+    "BuiltLayout",
+    "Database",
+    "LayoutHandle",
+    "LayoutStrategy",
+    "UnknownStrategyError",
+    "get_strategy",
+    "register_strategy",
+    "strategy_names",
+]

@@ -8,6 +8,14 @@ columns, a bounded-admission :class:`Scheduler` thread pool, and a
 :class:`ServingMetrics` collector (QPS, latency percentiles, cache hit
 rate).
 
+:class:`ResultCache` (:mod:`repro.serve.result_cache`) layers full
+result memoization over the routing memo: finished
+:class:`~repro.engine.executor.QueryStats` are keyed by (query
+fingerprint, layout generation), so repeated queries skip routing,
+pruning and scanning entirely, and a generation change (ingest or
+layout swap through :class:`repro.db.Database`) can never serve a
+stale result.
+
 :class:`ShardedLayoutService` (:mod:`repro.serve.shard`) scales the
 same facade out: the block store is partitioned across N shards —
 round-robin by BID or by qd-tree subtree — each running its own
@@ -18,8 +26,10 @@ per-shard stats into one bit-identical result.
 
 from .cache import BlockCache, CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
+from .result_cache import CachedResult, ResultCache, ResultCacheStats
 from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
 from .service import (
+    DEFAULT_CACHE_BUDGET,
     LayoutService,
     ReplayResult,
     ReplayableService,
@@ -31,11 +41,15 @@ from .shard import ShardSnapshot, ShardedLayoutService
 __all__ = [
     "AdmissionRejected",
     "BlockCache",
+    "DEFAULT_CACHE_BUDGET",
     "CacheStats",
+    "CachedResult",
     "LayoutService",
     "MetricsSnapshot",
     "ReplayResult",
     "ReplayableService",
+    "ResultCache",
+    "ResultCacheStats",
     "Scheduler",
     "SchedulerStats",
     "ServeResult",

@@ -118,15 +118,26 @@ class ServingMetrics:
         self._window_start = time.perf_counter()
         self._last_record = self._window_start
 
-    def record(self, latency_seconds: float, stats: QueryStats) -> None:
-        """Record one completed query (called by any worker thread)."""
+    def record(
+        self, latency_seconds: float, stats: QueryStats, cached: bool = False
+    ) -> None:
+        """Record one completed query (called by any worker thread).
+
+        ``cached=True`` marks a result served from a result cache: the
+        query and its latency count (traffic really happened) and so
+        does ``rows_returned`` (results really left the service), but
+        the scan-work counters do NOT — no block was touched, and
+        double-booking the original execution's tuples/bytes here
+        would inflate the IO report with work that never ran.
+        """
         with self._lock:
             self._latencies.append(latency_seconds)
             self._queries += 1
-            self._blocks_scanned += stats.blocks_scanned
-            self._tuples_scanned += stats.tuples_scanned
             self._rows_returned += stats.rows_returned
-            self._bytes_read += stats.bytes_read
+            if not cached:
+                self._blocks_scanned += stats.blocks_scanned
+                self._tuples_scanned += stats.tuples_scanned
+                self._bytes_read += stats.bytes_read
             self._last_record = time.perf_counter()
 
     def reset(self) -> None:

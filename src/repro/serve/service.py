@@ -35,6 +35,7 @@ from ..sql.planner import SqlPlanner
 from ..storage.blocks import BlockStore
 from .cache import BlockCache, CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
+from .result_cache import CachedResult, ResultCache
 from .scheduler import AdmissionRejected, Scheduler
 
 __all__ = [
@@ -53,7 +54,7 @@ DEFAULT_CACHE_BUDGET = 64 * 1024 * 1024
 
 def run_serial_baseline(
     store: BlockStore,
-    tree: QdTree,
+    tree: Optional[QdTree],
     statements: Sequence[str],
     repeat: int = 1,
     planner: Optional[SqlPlanner] = None,
@@ -70,14 +71,14 @@ def run_serial_baseline(
     engine = ScanEngine(store, profile, num_advanced_cuts=num_advanced_cuts)
     if planner is None:
         planner = SqlPlanner(store.schema)
-    router = QueryRouter(tree)
+    router = QueryRouter(tree) if tree is not None else None
     queries = [planner.plan(sql).query for sql in statements]
     t0 = time.perf_counter()
     stats = []
     for _ in range(repeat):
         for query in queries:
-            routed = router.route(query)
-            stats.append(engine.execute(query, routed.block_ids))
+            bids = router.route(query).block_ids if router is not None else None
+            stats.append(engine.execute(query, bids))
     seconds = time.perf_counter() - t0
     qps = len(stats) / seconds if seconds > 0 else 0.0
     return qps, tuple(stats)
@@ -296,6 +297,14 @@ class LayoutService(ReplayableService):
         order, so a fresh planner seeing served statements in a
         different order would bind the same comparison to a different
         slot and rout/prune on the wrong possibility bits.
+    result_cache / generation:
+        Optional :class:`~repro.serve.result_cache.ResultCache` plus
+        the generation of the layout this service fronts.  When given,
+        repeated queries return the memoized
+        :class:`~repro.engine.executor.QueryStats` without routing,
+        pruning or scanning; entries are keyed under ``generation`` so
+        a database that swaps or re-ingests layouts can never serve a
+        stale result through a cache shared across generations.
     """
 
     def __init__(
@@ -308,6 +317,8 @@ class LayoutService(ReplayableService):
         max_workers: int = 4,
         queue_depth: int = 64,
         planner: Optional[SqlPlanner] = None,
+        result_cache: Optional[ResultCache] = None,
+        generation: int = 0,
     ) -> None:
         self.store = store
         self.planner = planner if planner is not None else SqlPlanner(store.schema)
@@ -337,6 +348,8 @@ class LayoutService(ReplayableService):
         # router's internal latency state on misses.
         self._router_lock = threading.Lock()
         self._route_memo = RouteMemo()
+        self.result_cache = result_cache
+        self.generation = generation
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -368,8 +381,28 @@ class LayoutService(ReplayableService):
 
     def _serve(self, sql: str, admitted_at: float) -> ServeResult:
         planned = self.planner.plan(sql)
+        if self.result_cache is not None:
+            hit = self.result_cache.get(
+                planned.query, self.generation, self.engine.profile
+            )
+            if hit is not None:
+                latency = time.perf_counter() - admitted_at
+                self.metrics.record(latency, hit.stats, cached=True)
+                return ServeResult(
+                    sql=sql,
+                    stats=hit.stats,
+                    latency_seconds=latency,
+                    routed_block_ids=hit.routed_block_ids,
+                )
         routed, considered, survivors = self._route(planned.query)
         stats = self.engine.execute_pruned(planned.query, survivors, considered)
+        if self.result_cache is not None:
+            self.result_cache.put(
+                planned.query,
+                self.generation,
+                CachedResult(stats, routed),
+                self.engine.profile,
+            )
         latency = time.perf_counter() - admitted_at
         self.metrics.record(latency, stats)
         return ServeResult(
@@ -462,6 +495,14 @@ class LayoutService(ReplayableService):
         )
         if self.router is not None:
             lines.append(f"route memo         {routes} unique predicates")
+        if self.result_cache is not None:
+            rc = self.result_cache.stats()
+            lines.append(
+                f"result cache       {rc.entries} entries / "
+                f"{100 * rc.hit_rate:.1f}% hit rate "
+                f"(gen {self.generation}, "
+                f"{rc.tuples_avoided} tuple-scans avoided)"
+            )
         return "\n".join(lines)
 
     def close(self) -> None:

@@ -58,6 +58,7 @@ from ..sql.planner import SqlPlanner
 from ..storage.blocks import BlockStore
 from .cache import CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
+from .result_cache import CachedResult, ResultCache
 from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
 from .service import (
     DEFAULT_CACHE_BUDGET,
@@ -124,6 +125,12 @@ class ShardedLayoutService(ReplayableService):
         Shared planner; pass the build workload's planner whenever the
         layout used advanced cuts (same caveat as
         :class:`LayoutService`).
+    result_cache / generation:
+        Optional generation-keyed
+        :class:`~repro.serve.result_cache.ResultCache`, consulted at
+        the coordinator: a hit skips routing AND the whole scatter —
+        no shard sees the query at all (same semantics as
+        :class:`LayoutService`).
     """
 
     def __init__(
@@ -139,6 +146,8 @@ class ShardedLayoutService(ReplayableService):
         queue_depth: int = 64,
         coordinator_workers: Optional[int] = None,
         planner: Optional[SqlPlanner] = None,
+        result_cache: Optional[ResultCache] = None,
+        generation: int = 0,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -200,6 +209,8 @@ class ShardedLayoutService(ReplayableService):
         # lists as the payload.
         self._router_lock = threading.Lock()
         self._route_memo = RouteMemo()
+        self.result_cache = result_cache
+        self.generation = generation
         # Scatter accounting: how many shards each query fanned out to.
         self._fanout_lock = threading.Lock()
         self._fanout_queries = 0
@@ -290,6 +301,20 @@ class ShardedLayoutService(ReplayableService):
     def _serve(self, sql: str, admitted_at: float) -> ServeResult:
         planned = self.planner.plan(sql)
         query = planned.query
+        if self.result_cache is not None:
+            hit = self.result_cache.get(query, self.generation, self.profile)
+            if hit is not None:
+                # Coordinator-level hit: no routing, no scatter — the
+                # shards never see the query (fan-out accounting only
+                # measures real scatters, so it is untouched here).
+                latency = time.perf_counter() - admitted_at
+                self.metrics.record(latency, hit.stats, cached=True)
+                return ServeResult(
+                    sql=sql,
+                    stats=hit.stats,
+                    latency_seconds=latency,
+                    routed_block_ids=hit.routed_block_ids,
+                )
         routed, considered, per_shard, shard_considered, owners = self._route(
             query
         )
@@ -314,6 +339,10 @@ class ShardedLayoutService(ReplayableService):
         # Gather.
         parts = [futures[i].result() for i in owners]
         stats = self._merge(query, considered, parts, time.perf_counter() - t0)
+        if self.result_cache is not None:
+            self.result_cache.put(
+                query, self.generation, CachedResult(stats, routed), self.profile
+            )
         latency = time.perf_counter() - admitted_at
         self.metrics.record(latency, stats)
         with self._fanout_lock:
@@ -429,6 +458,14 @@ class ShardedLayoutService(ReplayableService):
         if self.router is not None:
             lines.append(
                 f"route memo         {len(self._route_memo)} unique predicates"
+            )
+        if self.result_cache is not None:
+            rc = self.result_cache.stats()
+            lines.append(
+                f"result cache       {rc.entries} entries / "
+                f"{100 * rc.hit_rate:.1f}% hit rate "
+                f"(gen {self.generation}, "
+                f"{rc.tuples_avoided} tuple-scans avoided)"
             )
         return "\n".join(lines)
 

@@ -6,7 +6,18 @@ encoded tables, encoded column chunks, physical blocks with min-max
 """
 
 from .blocks import Block, BlockStore
-from .catalog import load_store, load_table, save_store, save_table
+from .catalog import (
+    META_FILE,
+    TREE_FILE,
+    layout_meta_path,
+    layout_tree_path,
+    load_layout_meta,
+    load_store,
+    load_table,
+    save_layout_meta,
+    save_store,
+    save_table,
+)
 from .columnar import (
     EncodedChunk,
     Encoding,
@@ -28,6 +39,8 @@ from .table import Table
 __all__ = [
     "Block",
     "BlockStore",
+    "META_FILE",
+    "TREE_FILE",
     "Column",
     "ColumnKind",
     "ColumnStats",
@@ -41,9 +54,13 @@ __all__ = [
     "categorical",
     "decode_chunk",
     "encode_column",
+    "layout_meta_path",
+    "layout_tree_path",
+    "load_layout_meta",
     "load_store",
     "load_table",
     "numeric",
+    "save_layout_meta",
     "save_store",
     "save_table",
 ]

@@ -21,10 +21,55 @@ from .blocks import Block, BlockStore
 from .schema import Column, ColumnKind, Dictionary, Schema
 from .table import Table
 
-__all__ = ["save_store", "load_store", "save_table", "load_table"]
+__all__ = [
+    "META_FILE",
+    "TREE_FILE",
+    "layout_meta_path",
+    "layout_tree_path",
+    "load_layout_meta",
+    "load_store",
+    "load_table",
+    "save_layout_meta",
+    "save_store",
+    "save_table",
+]
 
 _CATALOG_NAME = "catalog.json"
 _TABLE_NAME = "table.npz"
+
+#: Canonical on-disk names of a layout directory's artifacts.  Both
+#: the CLI and :class:`repro.db.Database` persistence go through these
+#: (and the helpers below) so the two can never drift on what a saved
+#: layout looks like: ``catalog.json`` + block npzs (the store),
+#: ``TREE_FILE`` (the qd-tree, when the layout has one) and
+#: ``META_FILE`` (strategy, generation and build workload).
+TREE_FILE = "qdtree.json"
+META_FILE = "layout-meta.json"
+
+
+def layout_tree_path(path: Union[str, Path]) -> Path:
+    """Where a layout directory keeps its serialized qd-tree."""
+    return Path(path) / TREE_FILE
+
+
+def layout_meta_path(path: Union[str, Path]) -> Path:
+    """Where a layout directory keeps its metadata document."""
+    return Path(path) / META_FILE
+
+
+def save_layout_meta(path: Union[str, Path], meta: Dict[str, object]) -> None:
+    """Write a layout directory's metadata document."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    layout_meta_path(path).write_text(json.dumps(meta, indent=2))
+
+
+def load_layout_meta(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a layout directory's metadata document."""
+    meta_path = layout_meta_path(path)
+    if not meta_path.exists():
+        raise ValueError(f"no layout metadata ({META_FILE}) in {path}")
+    return json.loads(meta_path.read_text())
 
 
 def _schema_to_json(schema: Schema) -> List[Dict[str, object]]:

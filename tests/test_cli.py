@@ -88,18 +88,102 @@ class TestBuild:
         assert code == 0
         assert "trained 4 episodes" in capsys.readouterr().out
 
-    def test_build_empty_queries_fails(self, table_dir, tmp_path):
+    def test_build_empty_queries_fails(self, table_dir, tmp_path, capsys):
         empty = tmp_path / "empty.sql"
         empty.write_text("-- nothing\n")
-        with pytest.raises(SystemExit):
+        # Helpers raise ValueError (library-friendly); main converts to
+        # a nonzero exit code at the top level instead of SystemExit.
+        code = main(
+            [
+                "build",
+                "--table", str(table_dir),
+                "--queries", str(empty),
+                "--out", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 2
+        assert "no queries found" in capsys.readouterr().err
+
+
+class TestStrategyFlag:
+    def test_build_via_registry_strategy(
+        self, table_dir, queries_file, tmp_path, capsys
+    ):
+        out = tmp_path / "layout-kd"
+        code = main(
+            [
+                "build",
+                "--table", str(table_dir),
+                "--queries", str(queries_file),
+                "--out", str(out),
+                "--strategy", "kdtree",
+                "--min-block-size", "500",
+            ]
+        )
+        assert code == 0
+        assert "kdtree, generation 1" in capsys.readouterr().out
+        meta = json.loads((out / "layout-meta.json").read_text())
+        assert meta["strategy"] == "kdtree"
+        assert meta["generation"] == 1
+        # Tree-less layouts still inspect and route.
+        assert main(["inspect", "--layout", str(out)]) == 0
+        assert "kdtree" in capsys.readouterr().out
+        code = main(
+            [
+                "route",
+                "--layout", str(out),
+                "--sql", "SELECT x FROM t WHERE x < 5",
+            ]
+        )
+        assert code == 0
+        assert "returned" in capsys.readouterr().out
+
+    def test_strategy_typo_lists_registered_names(
+        self, table_dir, queries_file, tmp_path, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
             main(
                 [
                     "build",
                     "--table", str(table_dir),
-                    "--queries", str(empty),
+                    "--queries", str(queries_file),
                     "--out", str(tmp_path / "x"),
+                    "--strategy", "greedyy",
                 ]
             )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        from repro.db import strategy_names
+
+        for name in strategy_names():
+            assert name in err
+
+    def test_help_lists_registered_strategies(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["build", "--help"])
+        out = capsys.readouterr().out
+        from repro.db import strategy_names
+
+        for name in strategy_names():
+            assert name in out
+
+    def test_method_alias_still_works(
+        self, table_dir, queries_file, tmp_path, capsys
+    ):
+        out = tmp_path / "layout-alias"
+        code = main(
+            [
+                "build",
+                "--table", str(table_dir),
+                "--queries", str(queries_file),
+                "--out", str(out),
+                "--method", "greedy",
+                "--min-block-size", "200",
+            ]
+        )
+        assert code == 0
+        meta = json.loads((out / "layout-meta.json").read_text())
+        assert meta["method"] == "greedy"
 
 
 class TestInspect:

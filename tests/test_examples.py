@@ -67,8 +67,23 @@ def test_errorlog_skipping_example_small(capsys):
     assert "ErrorLog-Int layouts" in out
 
 
-@pytest.mark.slow
-def test_quickstart_example(capsys):
-    run_example("quickstart.py")
+def test_continuous_ingestion_example_small(capsys):
+    run_example(
+        "continuous_ingestion.py",
+        ["--rows", "8000", "--batch", "1500", "--queries", "60"],
+    )
+    out = capsys.readouterr().out
+    assert "learned layout (gen 1)" in out
+    assert "stale results impossible" in out
+    assert "re-learning advised" in out
+
+
+def test_quickstart_example_small(capsys):
+    run_example(
+        "quickstart.py",
+        ["--rows", "8000", "--episodes", "5", "--repeat", "5"],
+    )
     out = capsys.readouterr().out
     assert "Woodblock" in out
+    assert "registered strategies" in out
+    assert "result cache" in out
