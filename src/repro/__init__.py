@@ -26,9 +26,14 @@ Subpackages
     Dictionary-encoded tables, columnar blocks, min-max indexes.
 ``repro.engine``
     Scan-oriented execution engine with pluggable cost profiles.
+``repro.exec``
+    The unified query pipeline: plan/route/result-cache/prune/scan/
+    merge stages over an explicit execution context; every execution
+    path is a thin configuration of it.
 ``repro.serve``
     Concurrent query serving: thread-pool scheduling, buffer-pool
-    caching, routing memoization, latency/throughput metrics.
+    caching, routing memoization, latency/throughput metrics,
+    sharded scatter-gather and cost-arbitrated multi-layout facades.
 ``repro.baselines``
     Random, range, Bottom-Up (Sun et al.) and k-d tree partitioners.
 ``repro.workloads``
@@ -43,6 +48,7 @@ from . import (
     core,
     db,
     engine,
+    exec,
     rl,
     serve,
     sql,
@@ -50,7 +56,7 @@ from . import (
     workloads,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -59,6 +65,7 @@ __all__ = [
     "core",
     "db",
     "engine",
+    "exec",
     "rl",
     "serve",
     "sql",

@@ -31,12 +31,11 @@ complete** — which is precisely the property the qd-tree fixes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.cuts import CutRegistry
-from ..core.predicates import Predicate
 from ..core.workload import Workload
 from ..storage.table import Table
 from .subsumption import implies

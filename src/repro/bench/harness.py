@@ -10,12 +10,11 @@ the :class:`~repro.engine.executor.ScanEngine`, and report both logical
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.cost import leaf_sizes, scan_ratio
 from ..core.cuts import CutRegistry
 from ..core.router import QueryRouter
 from ..core.tree import QdTree

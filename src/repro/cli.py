@@ -50,14 +50,40 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
-from .db import Database, strategy_names
+from .db import Database, get_strategy, strategy_names
 from .serve import ResultCache, run_serial_baseline
 from .storage.catalog import load_table
 
 __all__ = ["main"]
+
+
+class _StrategyAction(argparse.Action):
+    """Store the strategy name; warn for the deprecated ``--method``.
+
+    Validation happens against the live registry in ``_cmd_build``
+    (NOT via argparse ``choices``) so strategies registered after
+    parser construction are accepted, and a typo reports the
+    registry's current names on stderr with exit code 2.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string == "--method":
+            warnings.warn(
+                "--method is deprecated; use --strategy",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # DeprecationWarning is hidden by Python's default filters
+            # outside test runners; a CLI user must see it regardless.
+            print(
+                "warning: --method is deprecated; use --strategy",
+                file=sys.stderr,
+            )
+        setattr(namespace, self.dest, values)
 
 
 def _read_queries(path: Path) -> List[str]:
@@ -85,6 +111,10 @@ def _strategy_options(args: argparse.Namespace) -> dict:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    # Validate against the live registry before any expensive work;
+    # UnknownStrategyError is a ValueError listing the valid names, so
+    # main() prints them to stderr and exits 2.
+    get_strategy(args.strategy)
     table = load_table(args.table)
     db = Database.from_table(table, min_block_size=args.min_block_size)
     statements = _read_queries(Path(args.queries))
@@ -257,10 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="file of SQL statements, one per line")
     p_build.add_argument("--out", required=True, help="output directory")
     p_build.add_argument("--strategy", "--method", dest="strategy",
-                         choices=strategy_names(), default="greedy",
+                         action=_StrategyAction, default="greedy",
                          metavar="STRATEGY",
-                         help="registered layout strategy: %(choices)s "
-                              "(--method is a deprecated alias)")
+                         help="registered layout strategy: "
+                              + ", ".join(strategy_names())
+                              + " (--method is a deprecated alias and "
+                                "emits a DeprecationWarning)")
     p_build.add_argument("--min-block-size", type=int, default=1000)
     p_build.add_argument("--episodes", type=int, default=100,
                          help="woodblock: training episodes")

@@ -18,7 +18,7 @@ This module computes the paper's *logical* metrics over a qd-tree:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 

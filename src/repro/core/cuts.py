@@ -10,21 +10,12 @@ serialization.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..storage.schema import Schema
-from .predicates import (
-    AdvancedCut,
-    And,
-    ColumnPredicate,
-    Not,
-    Op,
-    Or,
-    Predicate,
-    TruePredicate,
-)
+from .predicates import AdvancedCut, ColumnPredicate, Predicate
 from .workload import Workload
 
 __all__ = ["CutRegistry", "extract_candidate_cuts"]

@@ -19,14 +19,14 @@ avoid re-testing every (cut, query) pair:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..storage.schema import Schema
 from ..storage.table import Table
 from .cuts import CutRegistry
-from .node import NodeDescription, QdNode
+from .node import QdNode
 from .predicates import AdvancedCut, ColumnPredicate, Predicate
 from .tree import QdTree
 from .workload import Query, Workload

@@ -19,16 +19,14 @@ next ones.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..storage.blocks import Block, BlockStore
 from ..storage.table import Table
 from .tree import QdTree
-from .workload import Workload
-
 __all__ = ["SegmentInfo", "IngestionPipeline"]
 
 

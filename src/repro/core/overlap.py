@@ -21,17 +21,15 @@ the paper illustrates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 import numpy as np
 
 from ..storage.blocks import Block, BlockStore
 from ..storage.table import Table
 from .hypercube import Hypercube, Interval
-from .node import QdNode
-from .predicates import Predicate
 from .tree import QdTree
-from .workload import Query, Workload
+from .workload import Query
 
 __all__ = ["OverlapLayout", "build_overlap_layout", "hypercubes_adjacent"]
 

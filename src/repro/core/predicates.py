@@ -23,15 +23,7 @@ Every predicate supports:
 from __future__ import annotations
 
 import enum
-from typing import (
-    Callable,
-    FrozenSet,
-    Iterable,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import Callable, FrozenSet, Iterable, Mapping, Sequence, Tuple
 
 import numpy as np
 

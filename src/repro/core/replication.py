@@ -15,14 +15,14 @@ workload between rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..storage.table import Table
 from .cost import leaf_sizes, per_query_accessed
 from .tree import QdTree
-from .workload import Query, Workload
+from .workload import Workload
 
 __all__ = ["TwoTreeLayout", "build_two_tree_layout", "combined_accessed"]
 

@@ -15,13 +15,12 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..storage.table import Table
-from .predicates import Predicate
 from .tree import QdTree
 from .workload import Query, Workload
 

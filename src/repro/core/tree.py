@@ -20,7 +20,7 @@ so learned layouts can be persisted next to the block catalog.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 

@@ -8,8 +8,8 @@ train/test splits (Sec. 7.4.1 robustness) are possible.  A
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 

@@ -10,6 +10,8 @@ used to stitch by hand::
     result = db.execute("SELECT * FROM t WHERE x < 10")       # cached
     with db.serve(shards=4, partition="subtree") as service:
         service.run_closed_loop(statements, repeat=20)
+    with db.serve_multi([handle, other]) as multi:            # arbiter
+        multi.execute_sql("SELECT * FROM t WHERE x < 10").winner
     db.ingest(batch)          # routes through the learned tree, gen 3
     db.swap_layout(other)     # activate the k-d tree layout
     db.save(path); db2 = Database.open(path)
@@ -48,12 +50,12 @@ from ..core.workload import Workload
 from ..core.cuts import CutRegistry
 from ..engine.executor import ScanEngine
 from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..exec import QueryPipeline, ServeResult, single_layout_pipeline
 from ..serve import (
     DEFAULT_CACHE_BUDGET,
-    CachedResult,
     LayoutService,
+    MultiLayoutService,
     ResultCache,
-    ServeResult,
     ShardedLayoutService,
 )
 from ..sql.planner import SqlPlanner
@@ -98,12 +100,15 @@ class LayoutHandle:
     statements: Tuple[str, ...] = ()
     diagnostics: Optional[object] = None
     label: str = ""
-    # Lazily-built library-path execution helpers (one engine/router
-    # per handle; serving facades build their own).
+    # Lazily-built library-path execution helpers (one engine/router/
+    # pipeline per handle; serving facades build their own).
     _engine: Optional[ScanEngine] = field(
         default=None, repr=False, compare=False
     )
     _router: Optional[QueryRouter] = field(
+        default=None, repr=False, compare=False
+    )
+    _pipeline: Optional[QueryPipeline] = field(
         default=None, repr=False, compare=False
     )
 
@@ -522,58 +527,58 @@ class Database:
     # Execution
     # ------------------------------------------------------------------
 
+    def _pipeline_for(self, handle: LayoutHandle) -> QueryPipeline:
+        """The handle's library-path pipeline, built on demand.
+
+        One :func:`~repro.exec.pipeline.single_layout_pipeline`
+        configuration per handle — the same stages every serving
+        facade runs, wired to the database's shared planner and
+        generation-keyed result cache, minus the metrics/scheduler a
+        live service adds.
+        """
+        if handle._pipeline is None:
+            handle._pipeline = single_layout_pipeline(
+                planner=self.planner,
+                engine=handle.engine(),
+                router=handle.router(),
+                store=handle.store,
+                result_cache=self.result_cache,
+                generation=handle.generation,
+            )
+        return handle._pipeline
+
     def execute(
         self, sql: str, layout: Optional[LayoutHandle] = None
     ) -> ServeResult:
         """Execute one statement on the caller's thread (library path).
 
-        Routes through the layout's tree when it has one, consults and
-        populates the generation-keyed result cache, and returns the
-        same :class:`~repro.serve.service.ServeResult` a serving
-        facade would.
+        Runs the shared :class:`~repro.exec.pipeline.QueryPipeline`:
+        routes through the layout's tree when it has one (memoized per
+        predicate), consults and populates the generation-keyed result
+        cache, and returns the same
+        :class:`~repro.exec.pipeline.ServeResult` a serving facade
+        would.
         """
-        handle = self._resolve(layout)
-        planned = self.planner.plan(sql)
-        query = planned.query
-        engine = handle.engine()
-        t0 = time.perf_counter()
-        hit = self.result_cache.get(query, handle.generation, engine.profile)
-        if hit is not None:
-            return ServeResult(
-                sql=sql,
-                stats=hit.stats,
-                latency_seconds=time.perf_counter() - t0,
-                routed_block_ids=hit.routed_block_ids,
-            )
-        router = handle.router()
-        routed: Optional[Tuple[int, ...]] = (
-            router.route(query).block_ids if router is not None else None
-        )
-        stats = engine.execute(query, routed)
-        self.result_cache.put(
-            query, handle.generation, CachedResult(stats, routed), engine.profile
-        )
-        return ServeResult(
-            sql=sql,
-            stats=stats,
-            latency_seconds=time.perf_counter() - t0,
-            routed_block_ids=routed,
-        )
+        return self._pipeline_for(self._resolve(layout)).execute(sql)
 
     def collect_row_ids(
         self, sql: str, layout: Optional[LayoutHandle] = None
     ) -> np.ndarray:
         """Matched original-table row ids for one statement (sorted,
-        deduped); requires row-id provenance on the layout's blocks."""
-        handle = self._resolve(layout)
-        planned = self.planner.plan(sql)
-        router = handle.router()
-        routed = (
-            router.route(planned.query).block_ids
-            if router is not None
-            else None
-        )
-        return handle.engine().collect_row_ids(planned.query, routed)
+        deduped, memoized in the cache's byte-bounded row-id store);
+        requires row-id provenance on the layout's blocks."""
+        return self._pipeline_for(self._resolve(layout)).collect_row_ids(sql)
+
+    def _resolve_result_cache(
+        self, result_cache: Union[bool, ResultCache]
+    ) -> Optional[ResultCache]:
+        """``True`` -> the database's shared cache, ``False``/``None``
+        -> no caching, an instance -> that private cache."""
+        if result_cache is True:
+            return self.result_cache
+        if result_cache is False or result_cache is None:
+            return None
+        return result_cache
 
     def serve(
         self,
@@ -600,12 +605,7 @@ class Database:
         done (both are context managers).
         """
         handle = self._resolve(layout)
-        if result_cache is True:
-            rc: Optional[ResultCache] = self.result_cache
-        elif result_cache is False or result_cache is None:
-            rc = None
-        else:
-            rc = result_cache
+        rc = self._resolve_result_cache(result_cache)
         if shards > 1:
             return ShardedLayoutService(
                 handle.store,
@@ -641,6 +641,70 @@ class Database:
             planner=self.planner,
             result_cache=rc,
             generation=handle.generation,
+        )
+
+    def serve_multi(
+        self,
+        layouts: Optional[Sequence[LayoutHandle]] = None,
+        profile: CostProfile = SPARK_PARQUET,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers: int = 4,
+        queue_depth: int = 64,
+        result_cache: Union[bool, ResultCache] = True,
+    ) -> MultiLayoutService:
+        """Serve the table under several layouts, cheapest layout wins.
+
+        ``layouts`` defaults to every layout of this database holding
+        the **current data version** — superseded pre-ingest
+        generations are excluded, because a layout missing ingested
+        rows would not merely be slower, it would return wrong
+        results (and the arbiter would even *prefer* it: fewer rows
+        means fewer surviving blocks).  Passing an explicit mix of
+        data versions raises for the same reason.  Each query is
+        routed against every candidate layout's qd-tree, scored with
+        the blocks-surviving × bytes-scanned cost model, and executed
+        on the argmin layout; per-layout win counts appear in
+        ``service.snapshot().layout_wins``.  The result cache (shared
+        with the database by default, same semantics as
+        :meth:`serve`) keys entries on the winning layout's
+        generation.  Close the service when done (context manager).
+        """
+        current_rows = (
+            self._active.store.logical_rows if self._active else None
+        )
+        if layouts is not None:
+            handles = list(layouts)
+        else:
+            handles = [
+                h
+                for h in self._layouts
+                if h.store.logical_rows == current_rows
+            ]
+        if not handles:
+            raise ValueError(
+                "no layouts to serve: call build_layout() first "
+                "(or pass layouts=[...])"
+            )
+        for handle in handles:
+            if handle not in self._layouts:
+                raise ValueError("unknown layout handle (not built here)")
+        row_counts = {h.store.logical_rows for h in handles}
+        if len(row_counts) > 1:
+            raise ValueError(
+                "layouts hold different data versions "
+                f"(logical row counts {sorted(row_counts)}); arbitrating "
+                "across them would serve stale results — rebuild the "
+                "stale layouts on the current table first"
+            )
+        rc = self._resolve_result_cache(result_cache)
+        return MultiLayoutService(
+            handles,
+            profile=profile,
+            cache_budget_bytes=cache_budget_bytes,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            planner=self.planner,
+            result_cache=rc,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,78 @@
+"""The single-source-of-truth query execution pipeline.
+
+Every way this codebase executes a query — the serial baseline, the
+library path (``Database.execute``), the concurrent serving facade
+(:class:`~repro.serve.service.LayoutService`), the sharded
+scatter-gather coordinator and the multi-layout arbiter — is a thin
+*configuration* of one staged :class:`QueryPipeline`::
+
+    PlanStage -> RouteStage -> ResultCacheStage -> PruneStage
+              -> ScanStage -> MergeStage
+
+Each stage is a small object operating on an explicit
+:class:`ExecContext` (query fingerprint, layout generation, routed /
+pruned block sets, per-stage timings).  Configurations differ only in
+which collaborators a stage is given: the serial baseline routes and
+prunes from scratch on every arrival (no memo, no cache); the library
+path adds the generation-keyed result cache and per-handle memos; the
+serving facade adds metrics; the sharded coordinator swaps the scan
+stage for a scatter-gather over per-shard schedulers; the multi-layout
+arbiter swaps the route stage for a cost-model arbitration across
+several layouts (see :class:`ArbitrateStage`).
+
+The shared primitives the pipeline is built from — the routing memo,
+the generation-keyed result cache, the admission-rejection error and
+the :class:`ServeResult` envelope — live here too (they are re-exported
+from :mod:`repro.serve` for backwards compatibility).
+"""
+
+from .context import ExecContext, LayoutBinding
+from .errors import AdmissionRejected
+from .memo import RouteMemo
+from .pipeline import (
+    QueryPipeline,
+    ServeResult,
+    multi_layout_pipeline,
+    serial_pipeline,
+    sharded_pipeline,
+    single_layout_pipeline,
+)
+from .result_cache import CachedResult, ResultCache, ResultCacheStats
+from .stages import (
+    ArbitrateStage,
+    MergeStage,
+    PlanStage,
+    PruneStage,
+    ResultCacheStage,
+    RouteStage,
+    ScanStage,
+    ScatterScanStage,
+    ShardPruneStage,
+    Stage,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "ArbitrateStage",
+    "CachedResult",
+    "ExecContext",
+    "LayoutBinding",
+    "MergeStage",
+    "PlanStage",
+    "PruneStage",
+    "QueryPipeline",
+    "ResultCache",
+    "ResultCacheStage",
+    "ResultCacheStats",
+    "RouteMemo",
+    "RouteStage",
+    "ScanStage",
+    "ScatterScanStage",
+    "ServeResult",
+    "ShardPruneStage",
+    "Stage",
+    "multi_layout_pipeline",
+    "serial_pipeline",
+    "sharded_pipeline",
+    "single_layout_pipeline",
+]

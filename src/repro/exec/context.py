@@ -1,0 +1,75 @@
+"""The explicit per-query execution context pipeline stages share."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.router import QueryRouter
+from ..core.workload import Query
+from ..engine.executor import QueryStats, ScanEngine
+from ..storage.blocks import BlockStore
+
+__all__ = ["ExecContext", "LayoutBinding"]
+
+
+@dataclass(frozen=True)
+class LayoutBinding:
+    """One layout's execution collaborators, as the pipeline sees them.
+
+    The multi-layout arbiter holds one binding per candidate layout;
+    :class:`~repro.exec.stages.ArbitrateStage` picks one per predicate
+    and publishes it on the context, where the scan stage finds it.
+    """
+
+    label: str
+    generation: int
+    store: BlockStore
+    engine: ScanEngine
+    router: Optional[QueryRouter] = None
+
+
+@dataclass
+class ExecContext:
+    """Everything one query accumulates as it travels the stages.
+
+    A context is created per execution and never shared across
+    queries; stages communicate exclusively through it, which is what
+    makes each stage independently testable and each configuration a
+    pure wiring exercise.
+    """
+
+    sql: str
+    #: When the query was admitted (queue wait is part of latency).
+    admitted_at: float
+    #: Filled by :class:`~repro.exec.stages.PlanStage`.
+    query: Optional[Query] = None
+    #: Generation of the layout answering this query (fixed for
+    #: single-layout configurations; chosen by the arbiter for multi).
+    generation: int = 0
+    #: The arbiter's chosen layout (``None`` outside multi-layout).
+    binding: Optional[LayoutBinding] = None
+    #: Label of the arbitration winner (``None`` outside multi-layout).
+    winner: Optional[str] = None
+    #: Routed BID list (``None`` for tree-less layouts).
+    routed: Optional[Tuple[int, ...]] = None
+    #: Pre-prune candidate count, deduped against the full store.
+    considered: int = 0
+    #: SMA-surviving BIDs (single-engine scan path).
+    survivors: Optional[Tuple[int, ...]] = None
+    #: Sharded path: per-shard survivor lists / candidate counts and
+    #: the indices of shards owning at least one survivor.
+    per_shard: Optional[Tuple[Tuple[int, ...], ...]] = None
+    shard_considered: Optional[Tuple[int, ...]] = None
+    owners: Optional[Tuple[int, ...]] = None
+    #: Sharded path: gathered per-shard stats awaiting the merge.
+    parts: Optional[Tuple[QueryStats, ...]] = None
+    #: Wall seconds the scatter+gather took (merge stamps it into the
+    #: merged stats, mirroring the single-engine scan's wall time).
+    scatter_seconds: float = 0.0
+    #: The finished result (set by cache hit, scan, or merge).
+    stats: Optional[QueryStats] = None
+    #: True when ``stats`` came from the result cache.
+    cached: bool = False
+    #: Per-stage wall seconds, keyed by stage name.
+    timings: Dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,15 @@
+"""Errors shared across the execution pipeline and the serving tier."""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionRejected"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The admission queue is full and the caller chose not to wait.
+
+    Raised by :class:`repro.serve.scheduler.Scheduler` on a
+    non-blocking submit against a full queue; the scatter stage of the
+    sharded pipeline catches it to defer saturated shards, which is why
+    the class lives here rather than next to the scheduler.
+    """

@@ -1,0 +1,274 @@
+"""The staged query pipeline and its canonical configurations.
+
+:class:`QueryPipeline` is the one place a query's journey — plan,
+route, result-cache, prune, scan, merge — is spelled out; the four
+execution paths in this codebase (serial baseline, ``Database.execute``,
+:class:`~repro.serve.service.LayoutService`, the sharded coordinator)
+plus the multi-layout arbiter are built by the factory functions at
+the bottom of this module and differ only in the collaborators their
+stages receive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.router import QueryRouter
+from ..engine.executor import QueryStats, ScanEngine
+from ..engine.profiles import CostProfile
+from ..sql.planner import SqlPlanner
+from ..storage.blocks import BlockStore
+from .context import ExecContext, LayoutBinding
+from .memo import RouteMemo
+from .result_cache import ResultCache
+from .stages import (
+    ArbitrateStage,
+    MergeStage,
+    PlanStage,
+    PruneStage,
+    ResultCacheStage,
+    RouteStage,
+    ScanStage,
+    ScatterScanStage,
+    ShardPruneStage,
+    Stage,
+)
+
+__all__ = [
+    "QueryPipeline",
+    "ServeResult",
+    "multi_layout_pipeline",
+    "serial_pipeline",
+    "sharded_pipeline",
+    "single_layout_pipeline",
+]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one executed/served query."""
+
+    sql: str
+    stats: QueryStats
+    #: End-to-end seconds (queue wait + plan + route + scan when the
+    #: query went through a scheduler; service time otherwise).
+    latency_seconds: float
+    #: BIDs the router narrowed the query to (``None`` without a tree).
+    routed_block_ids: Optional[Tuple[int, ...]] = None
+    #: True when the stats came from the result cache.
+    cached: bool = False
+    #: Label of the winning layout under multi-layout arbitration.
+    winner: Optional[str] = None
+    #: Per-stage wall seconds for this execution.
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+
+
+class QueryPipeline:
+    """An ordered stage list executing queries over shared collaborators.
+
+    Every public execution path builds one of these (see the factory
+    functions below) and delegates to :meth:`execute`; there is no
+    other route/cache/scan loop in the codebase.
+    """
+
+    def __init__(
+        self,
+        planner: SqlPlanner,
+        stages: Sequence[Stage],
+        metrics: Optional[object] = None,
+    ) -> None:
+        self.planner = planner
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        #: Optional :class:`~repro.serve.metrics.ServingMetrics`-like
+        #: collector (duck-typed so repro.exec never imports repro.serve).
+        self.metrics = metrics
+        self._cache_stage: Optional[ResultCacheStage] = next(
+            (s for s in self.stages if isinstance(s, ResultCacheStage)), None
+        )
+        self._scan_stage = next(
+            (s for s in self.stages if hasattr(s, "collect")), None
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        return self._cache_stage.cache if self._cache_stage else None
+
+    def stage(self, name: str) -> Optional[Stage]:
+        """First stage with the given name (observability helpers)."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        return None
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, sql: str, admitted_at: Optional[float] = None
+    ) -> ServeResult:
+        """Run one statement through every stage; returns its result.
+
+        ``admitted_at`` is the scheduler-admission timestamp when the
+        call arrives through a worker pool (latency then includes the
+        queue wait); defaults to now for direct calls.
+        """
+        t_admit = admitted_at if admitted_at is not None else time.perf_counter()
+        ctx = ExecContext(sql=sql, admitted_at=t_admit)
+        for stage in self.stages:
+            t0 = time.perf_counter()
+            stage.run(ctx)
+            elapsed = time.perf_counter() - t0
+            ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + elapsed
+        for stage in self.stages:
+            stage.finish(ctx)
+        latency = time.perf_counter() - t_admit
+        if self.metrics is not None:
+            self.metrics.record(
+                latency, ctx.stats, cached=ctx.cached, winner=ctx.winner
+            )
+        return ServeResult(
+            sql=sql,
+            stats=ctx.stats,
+            latency_seconds=latency,
+            routed_block_ids=ctx.routed,
+            cached=ctx.cached,
+            winner=ctx.winner,
+            stage_seconds=dict(ctx.timings),
+        )
+
+    def prepare(self, sql: str) -> ExecContext:
+        """Run plan/route/prune (and arbitration) only — everything a
+        non-scan consumer like ``collect_row_ids`` needs, without
+        touching the result cache or scanning."""
+        ctx = ExecContext(sql=sql, admitted_at=time.perf_counter())
+        for stage in self.stages:
+            if isinstance(stage, (ResultCacheStage, MergeStage)):
+                continue
+            if stage is self._scan_stage:
+                continue
+            stage.run(ctx)
+        return ctx
+
+    def collect_row_ids(self, sql: str) -> np.ndarray:
+        """Matched original-table row ids (sorted, deduped) for one
+        statement, through the byte-bounded row-id cache when this
+        configuration carries a result cache.
+
+        The returned array is always **read-only** — cache hits hand
+        out the shared stored array, so the miss path freezes its
+        fresh array too rather than letting mutability depend on
+        cache state.  Callers needing to mutate should copy.
+        """
+        ctx = self.prepare(sql)
+        cache = self.result_cache
+        generation = (
+            self._cache_stage._generation(ctx) if self._cache_stage else 0
+        )
+        if cache is not None:
+            hit = cache.get_row_ids(ctx.query, generation)
+            if hit is not None:
+                return hit
+        ids = self._scan_stage.collect(ctx)
+        ids.setflags(write=False)
+        if cache is not None:
+            cache.put_row_ids(ctx.query, generation, ids)
+        return ids
+
+
+# ----------------------------------------------------------------------
+# Canonical configurations
+# ----------------------------------------------------------------------
+
+
+def serial_pipeline(
+    planner: SqlPlanner,
+    engine: ScanEngine,
+    router: Optional[QueryRouter],
+    store: BlockStore,
+) -> QueryPipeline:
+    """The pre-serving baseline: no memo, no cache, no metrics —
+    every arrival plans (memoized planner), routes, prunes and scans
+    from scratch, one at a time."""
+    return single_layout_pipeline(
+        planner=planner,
+        engine=engine,
+        router=router,
+        store=store,
+        result_cache=None,
+        memoize=False,
+    )
+
+
+def single_layout_pipeline(
+    planner: SqlPlanner,
+    engine: ScanEngine,
+    router: Optional[QueryRouter],
+    store: BlockStore,
+    result_cache: Optional[ResultCache] = None,
+    generation: int = 0,
+    metrics: Optional[object] = None,
+    memoize: bool = True,
+) -> QueryPipeline:
+    """One engine over one layout: ``Database.execute`` (cache, no
+    metrics) and :class:`~repro.serve.service.LayoutService` (cache +
+    metrics) are both this configuration."""
+    stages = [
+        PlanStage(planner),
+        RouteStage(router, store, memo=RouteMemo() if memoize else None),
+        ResultCacheStage(result_cache, generation, profile=engine.profile),
+        PruneStage(engine, memo=RouteMemo() if memoize else None),
+        ScanStage(engine),
+        MergeStage(engine.profile, store.schema),
+    ]
+    return QueryPipeline(planner, stages, metrics=metrics)
+
+
+def sharded_pipeline(
+    planner: SqlPlanner,
+    shards: Sequence[object],
+    router: Optional[QueryRouter],
+    store: BlockStore,
+    profile: CostProfile,
+    result_cache: Optional[ResultCache] = None,
+    generation: int = 0,
+    metrics: Optional[object] = None,
+) -> QueryPipeline:
+    """The scatter-gather coordinator: routing and pruning happen once
+    at the coordinator (per-shard survivor lists), the scan stage fans
+    out to the shard schedulers, and the merge stage folds the parts
+    into one bit-identical result."""
+    stages = [
+        PlanStage(planner),
+        RouteStage(router, store, memo=RouteMemo()),
+        ResultCacheStage(result_cache, generation, profile=profile),
+        ShardPruneStage(shards, memo=RouteMemo()),
+        ScatterScanStage(shards),
+        MergeStage(profile, store.schema),
+    ]
+    return QueryPipeline(planner, stages, metrics=metrics)
+
+
+def multi_layout_pipeline(
+    planner: SqlPlanner,
+    bindings: Sequence[LayoutBinding],
+    profile: CostProfile,
+    result_cache: Optional[ResultCache] = None,
+    metrics: Optional[object] = None,
+) -> QueryPipeline:
+    """Cost-arbitrated serving over several layouts of one table: the
+    arbitration stage routes + prunes against every layout and binds
+    the cheapest (blocks-surviving × bytes-scanned argmin); the result
+    cache keys on the winner's generation."""
+    stages = [
+        PlanStage(planner),
+        ArbitrateStage(bindings),
+        ResultCacheStage(result_cache, generation=None, profile=profile),
+        ScanStage(engine=None),
+        MergeStage(profile, bindings[0].store.schema),
+    ]
+    return QueryPipeline(planner, stages, metrics=metrics)

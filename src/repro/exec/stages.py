@@ -1,0 +1,521 @@
+"""The pipeline stages.
+
+Each stage is a small object with one job, operating only on the
+:class:`~repro.exec.context.ExecContext`:
+
+===================  ====================================================
+Stage                Responsibility
+===================  ====================================================
+:class:`PlanStage`   SQL text -> planned :class:`Query` (memoized planner)
+:class:`RouteStage`  qd-tree walk -> routed BID list + candidate count
+:class:`ResultCacheStage`
+                     generation-keyed full-result memo (get on the way
+                     down, put in ``finish`` on the way back up)
+:class:`PruneStage`  per-block min-max (SMA) intersection -> survivors
+:class:`ScanStage`   scan the survivors on one engine
+:class:`MergeStage`  fold scatter-gather parts into one result
+===================  ====================================================
+
+Two substitutions cover the wider topologies: the sharded coordinator
+replaces prune/scan with :class:`ShardPruneStage` (per-shard survivor
+lists) and :class:`ScatterScanStage` (fan out to per-shard schedulers,
+gather parts); the multi-layout arbiter replaces route (and absorbs
+prune) with :class:`ArbitrateStage`, which scores every candidate
+layout with a blocks-surviving × bytes-scanned cost model and binds
+the argmin layout to the context.
+
+Stages guard themselves: a stage whose output is already present (a
+cache hit filled ``ctx.stats``, the arbiter filled ``ctx.survivors``)
+is a no-op, so one canonical stage order serves every configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.router import QueryRouter
+from ..core.workload import Query
+from ..engine.executor import QueryStats, ScanEngine
+from ..engine.profiles import CostProfile
+from ..sql.planner import SqlPlanner
+from ..storage.blocks import BlockStore
+from ..storage.schema import Schema
+from .context import ExecContext, LayoutBinding
+from .errors import AdmissionRejected
+from .memo import RouteMemo
+from .result_cache import CachedResult, ResultCache
+
+__all__ = [
+    "ArbitrateStage",
+    "ArbiterChoice",
+    "MergeStage",
+    "PlanStage",
+    "PruneStage",
+    "ResultCacheStage",
+    "RouteStage",
+    "ScanStage",
+    "ScatterScanStage",
+    "ShardPruneStage",
+    "Stage",
+    "route_and_count",
+]
+
+
+class Stage:
+    """Protocol every pipeline stage implements.
+
+    ``run`` executes on the way down the stage list; ``finish`` runs
+    for every stage after the result is known (only the result-cache
+    stage uses it, to publish the computed result).
+    """
+
+    name = "stage"
+
+    def run(self, ctx: ExecContext) -> None:
+        raise NotImplementedError
+
+    def finish(self, ctx: ExecContext) -> None:
+        """Post-result hook; default no-op."""
+
+
+class PlanStage(Stage):
+    """SQL text -> planned query, through the shared memoized planner."""
+
+    name = "plan"
+
+    def __init__(self, planner: SqlPlanner) -> None:
+        self.planner = planner
+
+    def run(self, ctx: ExecContext) -> None:
+        ctx.query = self.planner.plan(ctx.sql).query
+
+
+def route_and_count(
+    router: Optional[QueryRouter],
+    store: BlockStore,
+    query: Query,
+    lock: threading.Lock,
+) -> Tuple[Optional[Tuple[int, ...]], int]:
+    """One qd-tree walk plus the candidate count, shared by every
+    routing consumer (:class:`RouteStage` and the multi-layout
+    arbiter) so the dedup rule cannot diverge between them.
+
+    The candidate count is deduped against the *full* store: a BID is
+    counted once no matter how shards partition (or a future layout
+    replicates) it.  ``lock`` serializes tree walks because the
+    router keeps latency-sample state.
+    """
+    if router is None:
+        return None, store.num_blocks
+    with lock:
+        routed = router.route(query).block_ids
+    return routed, len(set(routed) & store.bid_set)
+
+
+class RouteStage(Stage):
+    """Qd-tree routing: the ``BID IN (...)`` rewrite (paper Sec. 3.3).
+
+    The candidate count is deduped against the *full* store so a BID is
+    counted once no matter how shards partition (or a future layout
+    replicates) it.  With a memo, repeated predicate shapes cost two
+    dict lookups; without one (the serial baseline), every arrival
+    walks the tree from scratch — exactly the pre-serving cost model.
+    A small lock serializes tree walks because the router keeps
+    latency-sample state.
+
+    Routing runs *before* the result-cache stage (the canonical stage
+    order) — a deliberate tradeoff: a cache hit pays the memoized
+    route (two dict lookups), and a hit can only re-walk the tree if
+    the predicate fell out of the route memo, which cannot happen for
+    a fully cached workload because the result cache holds fewer
+    entries (8192) than the route memo (16384).
+    """
+
+    name = "route"
+
+    def __init__(
+        self,
+        router: Optional[QueryRouter],
+        store: BlockStore,
+        memo: Optional[RouteMemo] = None,
+    ) -> None:
+        self.router = router
+        self.store = store
+        self.memo = memo
+        self._lock = threading.Lock()
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.routed is not None or ctx.binding is not None:
+            return
+        if self.memo is not None:
+            entry = self.memo.get_or_compute(
+                ctx.query.predicate, lambda: self._route(ctx.query)
+            )
+        else:
+            entry = self._route(ctx.query)
+        ctx.routed, ctx.considered = entry
+
+    def _route(
+        self, query: Query
+    ) -> Tuple[Optional[Tuple[int, ...]], int]:
+        return route_and_count(self.router, self.store, query, self._lock)
+
+
+class ResultCacheStage(Stage):
+    """Generation-keyed full-result memoization.
+
+    ``run`` consults the cache (a hit fills ``ctx.stats`` and every
+    downstream compute stage no-ops — on the sharded configuration no
+    shard ever sees the query); ``finish`` publishes a freshly
+    computed result.  ``generation`` is fixed for single-layout
+    configurations and read off the context when the arbiter chose the
+    layout (``generation=None``).
+    """
+
+    name = "result_cache"
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache],
+        generation: Optional[int] = 0,
+        profile: object = None,
+    ) -> None:
+        self.cache = cache
+        self.generation = generation
+        self.profile = profile
+
+    def _generation(self, ctx: ExecContext) -> int:
+        return self.generation if self.generation is not None else ctx.generation
+
+    def run(self, ctx: ExecContext) -> None:
+        if self.cache is None:
+            return
+        gen = self._generation(ctx)
+        ctx.generation = gen
+        hit = self.cache.get(ctx.query, gen, self.profile)
+        if hit is not None:
+            ctx.stats = hit.stats
+            ctx.cached = True
+            if ctx.routed is None:
+                ctx.routed = hit.routed_block_ids
+
+    def finish(self, ctx: ExecContext) -> None:
+        if self.cache is None or ctx.cached or ctx.stats is None:
+            return
+        self.cache.put(
+            ctx.query,
+            self._generation(ctx),
+            CachedResult(ctx.stats, ctx.routed),
+            self.profile,
+        )
+
+
+class PruneStage(Stage):
+    """Per-block min-max (SMA) pruning within the routed candidates."""
+
+    name = "prune"
+
+    def __init__(
+        self, engine: ScanEngine, memo: Optional[RouteMemo] = None
+    ) -> None:
+        self.engine = engine
+        self.memo = memo
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is not None or ctx.survivors is not None:
+            return
+        if self.memo is not None:
+            ctx.survivors = self.memo.get_or_compute(
+                ctx.query.predicate,
+                lambda: tuple(self.engine.prune_blocks(ctx.query, ctx.routed)),
+            )
+        else:
+            ctx.survivors = tuple(
+                self.engine.prune_blocks(ctx.query, ctx.routed)
+            )
+
+
+class ScanStage(Stage):
+    """Scan the survivor list on one engine (the single-layout path).
+
+    With ``engine=None`` the engine comes from the context's arbitrated
+    :class:`~repro.exec.context.LayoutBinding` (multi-layout serving).
+    """
+
+    name = "scan"
+
+    def __init__(self, engine: Optional[ScanEngine] = None) -> None:
+        self.engine = engine
+
+    def _engine(self, ctx: ExecContext) -> ScanEngine:
+        if ctx.binding is not None:
+            return ctx.binding.engine
+        assert self.engine is not None
+        return self.engine
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is not None:
+            return
+        ctx.stats = self._engine(ctx).execute_pruned(
+            ctx.query, ctx.survivors, ctx.considered
+        )
+
+    def collect(self, ctx: ExecContext) -> np.ndarray:
+        """Matched row ids for an already-prepared context."""
+        return self._engine(ctx).collect_row_ids(
+            ctx.query, ctx.survivors, pruned=True
+        )
+
+
+class ShardPruneStage(Stage):
+    """Sharded SMA pruning: per-shard survivor lists + owner set.
+
+    Shards are duck-typed: anything with ``engine`` and ``store``
+    attributes qualifies (in practice the per-shard
+    :class:`~repro.serve.service.LayoutService` instances).
+    """
+
+    name = "prune"
+
+    def __init__(
+        self, shards: Sequence[object], memo: Optional[RouteMemo] = None
+    ) -> None:
+        self.shards = tuple(shards)
+        self.memo = memo
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is not None or ctx.per_shard is not None:
+            return
+        if self.memo is not None:
+            entry = self.memo.get_or_compute(
+                ctx.query.predicate,
+                lambda: self._prune(ctx.query, ctx.routed),
+            )
+        else:
+            entry = self._prune(ctx.query, ctx.routed)
+        ctx.per_shard, ctx.shard_considered, ctx.owners = entry
+
+    def _prune(self, query: Query, routed: Optional[Tuple[int, ...]]):
+        per_shard = tuple(
+            tuple(shard.engine.prune_blocks(query, routed))
+            for shard in self.shards
+        )
+        if routed is not None:
+            routed_set = set(routed)
+            shard_considered = tuple(
+                len(routed_set & shard.store.bid_set) for shard in self.shards
+            )
+        else:
+            shard_considered = tuple(
+                shard.store.num_blocks for shard in self.shards
+            )
+        owners = tuple(i for i, surv in enumerate(per_shard) if surv)
+        return per_shard, shard_considered, owners
+
+
+class ScatterScanStage(Stage):
+    """Scatter pre-pruned scans to shard schedulers; gather the parts.
+
+    Only shards owning surviving blocks see the query.  Two-phase so
+    one saturated shard cannot head-of-line-block the fan-out: a
+    non-blocking pass dispatches to every shard with admission room
+    first, then the stragglers are waited on.  The stage also keeps
+    the fan-out accounting (mean shards scattered to per query — the
+    partition-locality metric).
+    """
+
+    name = "scan"
+
+    def __init__(self, shards: Sequence[object]) -> None:
+        self.shards = tuple(shards)
+        self._fanout_lock = threading.Lock()
+        self._fanout_queries = 0
+        self._fanout_shards = 0
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is not None:
+            return
+        t0 = time.perf_counter()
+        futures = {}
+        deferred = []
+        for i in ctx.owners:
+            try:
+                futures[i] = self.shards[i].submit_pruned(
+                    ctx.query,
+                    ctx.per_shard[i],
+                    ctx.shard_considered[i],
+                    block=False,
+                )
+            except AdmissionRejected:
+                deferred.append(i)
+        for i in deferred:
+            futures[i] = self.shards[i].submit_pruned(
+                ctx.query, ctx.per_shard[i], ctx.shard_considered[i]
+            )
+        ctx.parts = tuple(futures[i].result() for i in ctx.owners)
+        ctx.scatter_seconds = time.perf_counter() - t0
+        with self._fanout_lock:
+            self._fanout_queries += 1
+            self._fanout_shards += len(ctx.owners)
+
+    def collect(self, ctx: ExecContext) -> np.ndarray:
+        """Matched row ids, unioned across owning shards."""
+        parts = [
+            self.shards[i].engine.collect_row_ids(
+                ctx.query, ctx.per_shard[i], pruned=True
+            )
+            for i in ctx.owners
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    # Fan-out observability -------------------------------------------
+
+    @property
+    def mean_fanout(self) -> float:
+        with self._fanout_lock:
+            if self._fanout_queries == 0:
+                return 0.0
+            return self._fanout_shards / self._fanout_queries
+
+    def reset_fanout(self) -> None:
+        with self._fanout_lock:
+            self._fanout_queries = 0
+            self._fanout_shards = 0
+
+
+class MergeStage(Stage):
+    """Fold gathered per-shard stats into one bit-identical result.
+
+    Scan totals sum (shards own disjoint blocks); the candidate count
+    is the coordinator's deduped value; ``columns_read`` and
+    ``modeled_ms`` are recomputed from the merged totals exactly as
+    the unsharded scan computes them, so ``result_key()`` comes out
+    bit-identical to single-service execution.  On single-engine
+    configurations there are no parts and the stage is a no-op.
+    """
+
+    name = "merge"
+
+    def __init__(self, profile: CostProfile, schema: Schema) -> None:
+        self.profile = profile
+        self.schema = schema
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is not None or ctx.parts is None:
+            return
+        query = ctx.query
+        filter_columns = sorted(query.predicate.referenced_columns())
+        scan_columns = sorted(set(filter_columns) | set(query.scan_columns()))
+        if not self.profile.columnar:
+            scan_columns = list(self.schema.column_names)
+        blocks_scanned = sum(p.blocks_scanned for p in ctx.parts)
+        tuples_scanned = sum(p.tuples_scanned for p in ctx.parts)
+        ctx.stats = QueryStats(
+            query_name=query.name,
+            template=query.template,
+            blocks_considered=ctx.considered,
+            blocks_scanned=blocks_scanned,
+            tuples_scanned=tuples_scanned,
+            rows_returned=sum(p.rows_returned for p in ctx.parts),
+            columns_read=len(scan_columns),
+            modeled_ms=self.profile.modeled_ms(
+                blocks_scanned=blocks_scanned,
+                tuples_scanned=tuples_scanned,
+                columns_read=len(scan_columns),
+            ),
+            wall_seconds=ctx.scatter_seconds,
+            bytes_read=sum(p.bytes_read for p in ctx.parts),
+        )
+
+
+# ----------------------------------------------------------------------
+# Multi-layout arbitration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArbiterChoice:
+    """One memoized arbitration decision for a predicate shape."""
+
+    index: int
+    routed: Optional[Tuple[int, ...]]
+    considered: int
+    survivors: Tuple[int, ...]
+    #: Per-layout ``(blocks surviving, estimated bytes scanned)``.
+    scores: Tuple[Tuple[int, int], ...]
+
+
+class ArbitrateStage(Stage):
+    """Cost-model arbitration across several layouts (route + prune).
+
+    For each unique predicate, the query is routed against every
+    layout's qd-tree (when it has one) and SMA-pruned against every
+    layout's blocks; each layout is scored with the min-max stats as
+    priors: **(blocks surviving, estimated bytes the filter columns
+    occupy across those blocks)**, compared lexicographically.  The
+    argmin layout wins, is bound to the context, and its generation
+    keys the result cache downstream — so multi-layout serving reuses
+    the exact cache semantics of single-layout serving.  Ties go to
+    the earliest layout in the candidate list (deterministic).
+    """
+
+    name = "route"
+
+    def __init__(
+        self,
+        bindings: Sequence[LayoutBinding],
+        memo: Optional[RouteMemo] = None,
+    ) -> None:
+        if not bindings:
+            raise ValueError("ArbitrateStage needs at least one layout")
+        self.bindings = tuple(bindings)
+        self.memo = memo if memo is not None else RouteMemo()
+        self._lock = threading.Lock()
+
+    def choice_for(self, query: Query) -> ArbiterChoice:
+        """The (memoized) arbitration decision for a query — the
+        public explain path facades read scores from."""
+        return self.memo.get_or_compute(
+            query.predicate, lambda: self._arbitrate(query)
+        )
+
+    def run(self, ctx: ExecContext) -> None:
+        choice = self.choice_for(ctx.query)
+        binding = self.bindings[choice.index]
+        ctx.binding = binding
+        ctx.generation = binding.generation
+        ctx.winner = binding.label
+        ctx.routed = choice.routed
+        ctx.considered = choice.considered
+        ctx.survivors = choice.survivors
+
+    def _arbitrate(self, query: Query) -> ArbiterChoice:
+        filter_columns = sorted(query.predicate.referenced_columns())
+        entries = []
+        for binding in self.bindings:
+            routed, considered = route_and_count(
+                binding.router, binding.store, query, self._lock
+            )
+            survivors = tuple(binding.engine.prune_blocks(query, routed))
+            bytes_est = sum(
+                binding.store.block(bid).decoded_nbytes(filter_columns)
+                for bid in survivors
+            )
+            entries.append((routed, considered, survivors, (len(survivors), bytes_est)))
+        scores = tuple(entry[3] for entry in entries)
+        index = min(range(len(entries)), key=lambda i: scores[i])
+        routed, considered, survivors, _ = entries[index]
+        return ArbiterChoice(
+            index=index,
+            routed=routed,
+            considered=considered,
+            survivors=survivors,
+            scores=scores,
+        )

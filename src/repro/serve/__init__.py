@@ -1,31 +1,41 @@
 """Concurrent query serving over learned layouts.
 
 The paper evaluates layouts one query at a time; this subsystem turns
-a finished layout into something that serves traffic: a thread-safe
-:class:`LayoutService` facade (SQL in, routed/cached/scheduled scans
-out), a memory-budgeted LRU :class:`BlockCache` buffer pool of decoded
-columns, a bounded-admission :class:`Scheduler` thread pool, and a
-:class:`ServingMetrics` collector (QPS, latency percentiles, cache hit
-rate).
+a finished layout into something that serves traffic.  Every facade is
+a thin configuration of the shared :mod:`repro.exec` query pipeline —
+the facades own resources (buffer pools, schedulers, metrics), the
+pipeline owns the plan/route/cache/prune/scan/merge logic:
 
-:class:`ResultCache` (:mod:`repro.serve.result_cache`) layers full
-result memoization over the routing memo: finished
+* :class:`LayoutService` — thread-safe serving of one layout (SQL in
+  -> routed, cached, scheduled scans out) with a memory-budgeted LRU
+  :class:`BlockCache` buffer pool, a bounded-admission
+  :class:`Scheduler` thread pool, and :class:`ServingMetrics` (QPS,
+  latency percentiles, cache hit rate).
+* :class:`ShardedLayoutService` (:mod:`repro.serve.shard`) — the block
+  store partitioned across N shards (round-robin by BID or by qd-tree
+  subtree), each running its own :class:`LayoutService`, behind a
+  scatter-gather coordinator that fans each query out only to the
+  shards owning surviving blocks and merges per-shard stats into one
+  bit-identical result.
+* :class:`MultiLayoutService` (:mod:`repro.serve.multi`) — the same
+  table under several layouts at once, with a cost-model arbiter
+  routing each query to the layout that scans the least
+  (blocks-surviving × bytes-scanned argmin) and per-layout win counts
+  in the metrics.
+
+:class:`ResultCache` (now in :mod:`repro.exec.result_cache`) layers
+full result memoization over the routing memo: finished
 :class:`~repro.engine.executor.QueryStats` are keyed by (query
-fingerprint, layout generation), so repeated queries skip routing,
-pruning and scanning entirely, and a generation change (ingest or
-layout swap through :class:`repro.db.Database`) can never serve a
-stale result.
-
-:class:`ShardedLayoutService` (:mod:`repro.serve.shard`) scales the
-same facade out: the block store is partitioned across N shards —
-round-robin by BID or by qd-tree subtree — each running its own
-:class:`LayoutService`, behind a scatter-gather coordinator that fans
-each query out only to the shards owning surviving blocks and merges
-per-shard stats into one bit-identical result.
+fingerprint, layout generation), so repeated queries skip pruning and
+scanning entirely, and a generation change (ingest or layout swap
+through :class:`repro.db.Database`) can never serve a stale result.
+The cache's byte-bounded row-id store makes repeated
+``collect_row_ids`` calls free as well.
 """
 
 from .cache import BlockCache, CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
+from .multi import MultiLayoutService
 from .result_cache import CachedResult, ResultCache, ResultCacheStats
 from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
 from .service import (
@@ -33,6 +43,7 @@ from .service import (
     LayoutService,
     ReplayResult,
     ReplayableService,
+    RouteMemo,
     ServeResult,
     run_serial_baseline,
 )
@@ -46,10 +57,12 @@ __all__ = [
     "CachedResult",
     "LayoutService",
     "MetricsSnapshot",
+    "MultiLayoutService",
     "ReplayResult",
     "ReplayableService",
     "ResultCache",
     "ResultCacheStats",
+    "RouteMemo",
     "Scheduler",
     "SchedulerStats",
     "ServeResult",

@@ -14,7 +14,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,9 @@ class MetricsSnapshot:
     rows_returned: int
     bytes_read: int
     cache: Optional[CacheStats] = None
+    #: Multi-layout arbitration: (layout label, queries won) pairs,
+    #: most wins first; empty outside multi-layout serving.
+    layout_wins: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
@@ -90,6 +93,9 @@ class MetricsSnapshot:
                 f"{self.cache.budget_bytes} bytes "
                 f"in {self.cache.entries} entries"
             )
+        if self.layout_wins:
+            won = ", ".join(f"{label}: {n}" for label, n in self.layout_wins)
+            lines.append(f"layout wins        {won}")
         return "\n".join(lines)
 
 
@@ -115,11 +121,16 @@ class ServingMetrics:
         self._tuples_scanned = 0
         self._rows_returned = 0
         self._bytes_read = 0
+        self._wins: Dict[str, int] = {}
         self._window_start = time.perf_counter()
         self._last_record = self._window_start
 
     def record(
-        self, latency_seconds: float, stats: QueryStats, cached: bool = False
+        self,
+        latency_seconds: float,
+        stats: QueryStats,
+        cached: bool = False,
+        winner: Optional[str] = None,
     ) -> None:
         """Record one completed query (called by any worker thread).
 
@@ -129,6 +140,10 @@ class ServingMetrics:
         the scan-work counters do NOT — no block was touched, and
         double-booking the original execution's tuples/bytes here
         would inflate the IO report with work that never ran.
+
+        ``winner`` is the label of the layout the multi-layout arbiter
+        picked for this query (counted for cached hits too: the
+        decision stands, the cache merely spared the scan).
         """
         with self._lock:
             self._latencies.append(latency_seconds)
@@ -138,7 +153,14 @@ class ServingMetrics:
                 self._blocks_scanned += stats.blocks_scanned
                 self._tuples_scanned += stats.tuples_scanned
                 self._bytes_read += stats.bytes_read
+            if winner is not None:
+                self._wins[winner] = self._wins.get(winner, 0) + 1
             self._last_record = time.perf_counter()
+
+    def win_counts(self) -> Dict[str, int]:
+        """Per-layout queries won (multi-layout serving only)."""
+        with self._lock:
+            return dict(self._wins)
 
     def reset(self) -> None:
         """Start a fresh observation window."""
@@ -149,6 +171,7 @@ class ServingMetrics:
             self._tuples_scanned = 0
             self._rows_returned = 0
             self._bytes_read = 0
+            self._wins.clear()
             self._window_start = time.perf_counter()
             self._last_record = self._window_start
 
@@ -156,6 +179,9 @@ class ServingMetrics:
         """Freeze the current window (optionally attaching cache
         accounting so one report covers the whole serving stack)."""
         with self._lock:
+            wins = tuple(
+                sorted(self._wins.items(), key=lambda kv: (-kv[1], kv[0]))
+            )
             if not self._latencies and self._queries == 0:
                 # Empty window: all-zero snapshot (percentiles included)
                 # rather than asking numpy for percentiles of nothing.
@@ -172,6 +198,7 @@ class ServingMetrics:
                     rows_returned=0,
                     bytes_read=0,
                     cache=cache,
+                    layout_wins=wins,
                 )
             lat_ms = np.asarray(self._latencies, dtype=np.float64) * 1000.0
             window = max(self._last_record - self._window_start, 0.0)
@@ -192,4 +219,5 @@ class ServingMetrics:
                 rows_returned=self._rows_returned,
                 bytes_read=self._bytes_read,
                 cache=cache,
+                layout_wins=wins,
             )

@@ -1,0 +1,233 @@
+"""Cost-arbitrated serving over several layouts of one table.
+
+The qd-tree paper's core promise is routing each query to the layout
+that skips the most blocks.  :class:`MultiLayoutService` delivers the
+multi-layout version of that promise: the same table is served under
+several :class:`~repro.db.LayoutHandle`-style layouts at once, and a
+cost-model arbiter (:class:`~repro.exec.stages.ArbitrateStage`) routes
+each unique predicate against every layout's qd-tree, scores the
+candidates with a **blocks-surviving × bytes-scanned** model (min-max
+stats as the priors that drive the prune), and executes on the argmin
+layout.  Per-layout win counts land in :class:`ServingMetrics`
+(``snapshot().layout_wins``), so a skewed workload visibly splits its
+templates across the layouts that serve them cheapest.
+
+This facade is the first genuinely *new* consumer of the shared
+:class:`~repro.exec.pipeline.QueryPipeline`: it reuses the plan,
+result-cache (keyed by the winning layout's generation) and scan
+stages unchanged — only the route stage differs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.router import QueryRouter
+from ..engine.executor import ScanEngine
+from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..exec import LayoutBinding, ServeResult, multi_layout_pipeline
+from ..sql.planner import SqlPlanner
+from .cache import BlockCache, CacheStats
+from .metrics import ServingMetrics
+from .result_cache import ResultCache
+from .scheduler import Scheduler
+from .service import DEFAULT_CACHE_BUDGET, ReplayableService
+
+__all__ = ["MultiLayoutService"]
+
+
+def _bindings_for(
+    layouts: Sequence[object],
+    profile: CostProfile,
+    cache_budget_bytes: Optional[int],
+) -> Tuple[Tuple[LayoutBinding, ...], Tuple[Optional[BlockCache], ...]]:
+    """Build one (engine + router) binding per layout handle.
+
+    ``layouts`` is duck-typed (``store``, ``tree``, ``generation``,
+    ``num_advanced_cuts`` and a ``label``/``strategy`` name) so this
+    module never imports :mod:`repro.db`.  Labels are disambiguated
+    with the generation when two layouts share a name — win counts
+    must be attributable.
+    """
+    labels = [
+        getattr(handle, "label", "") or getattr(handle, "strategy", "layout")
+        for handle in layouts
+    ]
+    duplicated = {label for label in labels if labels.count(label) > 1}
+    labels = [
+        f"{label}@gen{getattr(layouts[i], 'generation', i)}"
+        if label in duplicated
+        else label
+        for i, label in enumerate(labels)
+    ]
+    per_layout_budget = (
+        cache_budget_bytes // len(layouts) if cache_budget_bytes else None
+    )
+    bindings = []
+    caches = []
+    for handle, label in zip(layouts, labels):
+        cache = BlockCache(per_layout_budget) if per_layout_budget else None
+        engine = ScanEngine(
+            handle.store,
+            profile,
+            num_advanced_cuts=getattr(handle, "num_advanced_cuts", 0),
+            column_reader=cache.read_columns if cache is not None else None,
+        )
+        tree = getattr(handle, "tree", None)
+        router = (
+            QueryRouter(tree, max_latency_samples=10_000)
+            if tree is not None
+            else None
+        )
+        bindings.append(
+            LayoutBinding(
+                label=label,
+                generation=getattr(handle, "generation", 0),
+                store=handle.store,
+                engine=engine,
+                router=router,
+            )
+        )
+        caches.append(cache)
+    return tuple(bindings), tuple(caches)
+
+
+class MultiLayoutService(ReplayableService):
+    """Serve one table under several layouts, cheapest layout wins.
+
+    Parameters
+    ----------
+    layouts:
+        The candidate layouts (e.g. :class:`repro.db.LayoutHandle`
+        instances).  Order matters only for ties: the earliest layout
+        wins a tied score.
+    profile:
+        Cost profile shared by every layout's engine (one model, one
+        comparable score).
+    cache_budget_bytes:
+        TOTAL buffer-pool budget, split evenly across layouts;
+        ``0``/``None`` disables block caching.
+    max_workers / queue_depth:
+        Scheduler sizing (one pool serves all layouts — the arbiter
+        decides where each query scans).
+    planner:
+        Shared planner (same advanced-cut caveat as
+        :class:`~repro.serve.service.LayoutService`).
+    result_cache:
+        Optional generation-keyed result cache; entries key on the
+        *winning* layout's generation, so the cache is exactly as
+        stale-proof as single-layout serving.
+    """
+
+    def __init__(
+        self,
+        layouts: Sequence[object],
+        profile: CostProfile = SPARK_PARQUET,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers: int = 4,
+        queue_depth: int = 64,
+        planner: Optional[SqlPlanner] = None,
+        result_cache: Optional[ResultCache] = None,
+    ) -> None:
+        layouts = list(layouts)
+        if not layouts:
+            raise ValueError("serve_multi needs at least one layout")
+        schema = layouts[0].store.schema
+        self.planner = planner if planner is not None else SqlPlanner(schema)
+        self.profile = profile
+        self.bindings, self._block_caches = _bindings_for(
+            layouts, profile, cache_budget_bytes
+        )
+        self.metrics = ServingMetrics()
+        self.scheduler = Scheduler(max_workers=max_workers, queue_depth=queue_depth)
+        self.result_cache = result_cache
+        self.pipeline = multi_layout_pipeline(
+            planner=self.planner,
+            bindings=self.bindings,
+            profile=profile,
+            result_cache=result_cache,
+            metrics=self.metrics,
+        )
+        self._arbiter = self.pipeline.stage("route")
+
+    # ------------------------------------------------------------------
+    # Execution (delegates to the shared pipeline)
+    # ------------------------------------------------------------------
+
+    def _serve(self, sql: str, admitted_at: float) -> ServeResult:
+        return self.pipeline.execute(sql, admitted_at)
+
+    def execute_sql(self, sql: str) -> ServeResult:
+        """Serve one statement synchronously; ``result.winner`` names
+        the layout the arbiter picked."""
+        return self._serve(sql, time.perf_counter())
+
+    def submit_sql(
+        self, sql: str, block: bool = True, timeout: Optional[float] = None
+    ):
+        """Admit one statement to the scheduler; returns its future."""
+        return self.scheduler.submit(
+            self._serve, sql, time.perf_counter(), block=block, timeout=timeout
+        )
+
+    def collect_row_ids(self, sql: str) -> np.ndarray:
+        """Matched row ids through the winning layout (cached in the
+        byte-bounded row-id store under the winner's generation)."""
+        return self.pipeline.collect_row_ids(sql)
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def win_counts(self) -> Dict[str, int]:
+        """Queries won per layout label in the current window."""
+        return self.metrics.win_counts()
+
+    def arbiter_scores(self, sql: str) -> Tuple[Tuple[str, Tuple[int, int]], ...]:
+        """(label, (blocks surviving, estimated bytes)) per layout for
+        one statement — the explain path for an arbitration decision."""
+        query = self.planner.plan(sql).query
+        choice = self._arbiter.choice_for(query)
+        return tuple(
+            (binding.label, score)
+            for binding, score in zip(self.bindings, choice.scores)
+        )
+
+    def _cache_stats(self) -> Optional[CacheStats]:
+        parts = [c.stats() for c in self._block_caches if c is not None]
+        return CacheStats.merged(parts) if parts else None
+
+    def report(self) -> str:
+        """Operator-facing text report for the current window."""
+        snap = self.snapshot()
+        sched = self.scheduler.stats()
+        lines = [snap.report()]
+        lines.append(
+            f"arbiter            {len(self.bindings)} layouts / "
+            f"{len(self._arbiter.memo)} unique predicates scored"
+        )
+        lines.append(
+            f"scheduler          {sched.submitted} submitted / "
+            f"{sched.completed} completed / {sched.rejected} rejected "
+            f"(peak in-flight {sched.max_in_flight})"
+        )
+        if self.result_cache is not None:
+            rc = self.result_cache.stats()
+            lines.append(
+                f"result cache       {rc.entries} entries / "
+                f"{100 * rc.hit_rate:.1f}% hit rate "
+                f"({rc.tuples_avoided} tuple-scans avoided, "
+                f"{rc.row_id_bytes} row-id bytes)"
+            )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+    def __repr__(self) -> str:
+        labels = ", ".join(b.label for b in self.bindings)
+        return f"MultiLayoutService(layouts=[{labels}])"

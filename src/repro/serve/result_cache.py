@@ -1,222 +1,20 @@
-"""Generation-keyed memoization of full query results.
+"""Compatibility shim: the result cache lives in :mod:`repro.exec`.
 
-The routing memo (:class:`~repro.serve.service.RouteMemo`) spares a
-repeated predicate the tree walk and the per-block min-max
-intersection, but the surviving blocks are still *scanned* on every
-arrival.  :class:`ResultCache` closes that gap: the finished
-:class:`~repro.engine.executor.QueryStats` (and the routed BID list
-that produced it) is memoized per **(query fingerprint, layout
-generation)**, so a repeat of the same query against the same layout
-generation skips planning's downstream entirely — no routing, no
-pruning, no scan.
-
-The layout *generation* is the invalidation story.  Every layout a
-:class:`~repro.db.Database` builds — and every ingest, which produces
-a new store — is stamped with a monotonically increasing generation
-number.  Serving facades look entries up under the generation of the
-layout they serve; a generation change (``db.ingest``,
-``db.swap_layout``) therefore makes every old entry unreachable, and
-the database additionally purges them eagerly (:meth:`retain`) so the
-cache never carries dead weight.  Within one generation the store is
-immutable, which is what makes result memoization sound at all.
-
-Entries are shared across facades: a single :class:`ResultCache` can
-sit behind the library path (``db.execute``), an unsharded
-:class:`~repro.serve.service.LayoutService` and a sharded coordinator
-at once — all three produce ``result_key``-identical stats for the
-same (query, generation), so whichever computes first populates the
-entry for the others.
+The generation-keyed :class:`ResultCache` moved next to the pipeline
+stages that consult it (:mod:`repro.exec.result_cache`); this module
+keeps the historical import path working.
 """
 
-from __future__ import annotations
+from ..exec.result_cache import (
+    DEFAULT_ROW_ID_BUDGET,
+    CachedResult,
+    ResultCache,
+    ResultCacheStats,
+)
 
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
-
-from ..core.workload import Query
-from ..engine.executor import QueryStats
-
-__all__ = ["CachedResult", "ResultCache", "ResultCacheStats"]
-
-#: (query fingerprint, layout generation) — see :meth:`ResultCache.key_for`.
-_Key = Tuple[object, int]
-
-
-@dataclass(frozen=True)
-class CachedResult:
-    """One memoized query outcome.
-
-    ``stats`` is the first execution's :class:`QueryStats`; every
-    deterministic field (``result_key()``) is — by the per-generation
-    immutability argument above — exactly what a fresh execution would
-    produce.  ``wall_seconds`` inside is the *original* scan's wall
-    time; serving facades report the (much smaller) hit latency
-    through their metrics instead.
-    """
-
-    stats: QueryStats
-    routed_block_ids: Optional[Tuple[int, ...]] = None
-
-
-@dataclass(frozen=True)
-class ResultCacheStats:
-    """A consistent point-in-time snapshot of cache accounting."""
-
-    hits: int
-    misses: int
-    entries: int
-    evictions: int
-    #: Entries dropped by generation purges (ingest / swap_layout).
-    invalidated: int
-    #: Tuple-scans a fresh execution would have performed but a hit
-    #: avoided — the work the cache exists to skip.
-    tuples_avoided: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def since(self, earlier: "ResultCacheStats") -> "ResultCacheStats":
-        """Activity between ``earlier`` and this snapshot (counters
-        become deltas; ``entries`` keeps the point-in-time value)."""
-        return ResultCacheStats(
-            hits=self.hits - earlier.hits,
-            misses=self.misses - earlier.misses,
-            entries=self.entries,
-            evictions=self.evictions - earlier.evictions,
-            invalidated=self.invalidated - earlier.invalidated,
-            tuples_avoided=self.tuples_avoided - earlier.tuples_avoided,
-        )
-
-
-class ResultCache:
-    """Bounded, thread-safe (fingerprint, generation) -> result memo.
-
-    Parameters
-    ----------
-    cap:
-        Maximum entries held; inserts past the cap evict
-        least-recently-used entries, so a long-lived database under
-        ad-hoc traffic cannot grow without limit.
-    """
-
-    def __init__(self, cap: int = 8192) -> None:
-        if cap < 1:
-            raise ValueError("cap must be >= 1")
-        self.cap = cap
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[_Key, CachedResult]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidated = 0
-        self._tuples_avoided = 0
-
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def key_for(query: Query, profile: object = None) -> object:
-        """The query fingerprint: every input that feeds a
-        deterministic stat.  The predicate alone is NOT enough — two
-        statements with the same WHERE clause but different
-        projections scan different column counts — so the fingerprint
-        also carries the scan columns, the provenance names, and the
-        cost profile (``columns_read``/``modeled_ms`` depend on it)."""
-        return (
-            query.predicate,
-            query.scan_columns(),
-            query.name,
-            query.template,
-            profile,
-        )
-
-    def get(
-        self, query: Query, generation: int, profile: object = None
-    ) -> Optional[CachedResult]:
-        """Memoized result for ``query`` under ``generation``, if any."""
-        key = (self.key_for(query, profile), generation)
-        with self._lock:
-            hit = self._entries.get(key)
-            if hit is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            self._tuples_avoided += hit.stats.tuples_scanned
-            return hit
-
-    def put(
-        self,
-        query: Query,
-        generation: int,
-        result: CachedResult,
-        profile: object = None,
-    ) -> None:
-        """Memoize one outcome (racing duplicate puts are benign —
-        both computed the same deterministic fields)."""
-        key = (self.key_for(query, profile), generation)
-        with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.cap:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-
-    # ------------------------------------------------------------------
-    # Invalidation
-    # ------------------------------------------------------------------
-
-    def retain(self, generation: int) -> int:
-        """Drop every entry NOT belonging to ``generation``.
-
-        Called by the database whenever the active generation changes
-        (ingest, swap_layout): entries of other generations are
-        unreachable from the new serving path anyway, so free them.
-        Returns the number of entries dropped.
-        """
-        with self._lock:
-            stale = [k for k in self._entries if k[1] != generation]
-            for key in stale:
-                del self._entries[key]
-            self._invalidated += len(stale)
-            return len(stale)
-
-    def clear(self) -> int:
-        """Drop everything; returns the number of entries dropped."""
-        with self._lock:
-            dropped = len(self._entries)
-            self._entries.clear()
-            self._invalidated += dropped
-            return dropped
-
-    # ------------------------------------------------------------------
-
-    def stats(self) -> ResultCacheStats:
-        with self._lock:
-            return ResultCacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                entries=len(self._entries),
-                evictions=self._evictions,
-                invalidated=self._invalidated,
-                tuples_avoided=self._tuples_avoided,
-            )
-
-    def generations(self) -> Tuple[int, ...]:
-        """Distinct generations currently holding entries (sorted)."""
-        with self._lock:
-            return tuple(sorted({k[1] for k in self._entries}))
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __repr__(self) -> str:
-        s = self.stats()
-        return (
-            f"ResultCache(entries={s.entries}, hit_rate={s.hit_rate:.2f}, "
-            f"invalidated={s.invalidated})"
-        )
+__all__ = [
+    "CachedResult",
+    "DEFAULT_ROW_ID_BUDGET",
+    "ResultCache",
+    "ResultCacheStats",
+]

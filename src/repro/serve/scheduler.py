@@ -15,11 +15,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
+from ..exec.errors import AdmissionRejected
+
 __all__ = ["AdmissionRejected", "Scheduler", "SchedulerStats"]
-
-
-class AdmissionRejected(RuntimeError):
-    """The admission queue is full and the caller chose not to wait."""
 
 
 @dataclass(frozen=True)

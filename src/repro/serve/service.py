@@ -1,41 +1,50 @@
 """The serving facade: SQL in, routed + cached + scheduled scans out.
 
 :class:`LayoutService` is the front door a client (or many concurrent
-clients) talks to.  One call travels the whole stack::
+clients) talks to.  Since the :mod:`repro.exec` refactor it owns no
+execution logic of its own: one call travels the shared
+:class:`~repro.exec.pipeline.QueryPipeline`::
 
     SQL text
-      -> SqlPlanner       (memoized, thread-safe parse/plan)
-      -> QueryRouter      (qd-tree BID pruning, memoized by predicate
-                           fingerprint so repeated shapes skip the tree)
-      -> ScanEngine       (one scan path; column reads served by the
-                           shared BlockCache buffer pool when enabled)
-      -> ServingMetrics   (latency/QPS/cache accounting)
+      -> PlanStage         (memoized, thread-safe parse/plan)
+      -> RouteStage        (qd-tree BID pruning, memoized by predicate
+                            fingerprint so repeated shapes skip the tree)
+      -> ResultCacheStage  (generation-keyed full-result memo)
+      -> PruneStage        (per-block min-max intersection, memoized)
+      -> ScanStage         (one scan path; column reads served by the
+                            shared BlockCache buffer pool when enabled)
+      -> MergeStage        (no-op for the single-engine topology)
 
-Concurrency comes from :class:`~repro.serve.scheduler.Scheduler`: a
-bounded thread pool whose admission queue back-pressures closed-loop
-clients and sheds load for open-loop ones.  Scans parallelize despite
-the GIL because the decode and filter kernels are vectorized numpy.
+with :class:`ServingMetrics` recording latency/QPS/cache accounting per
+completed query.  Concurrency comes from
+:class:`~repro.serve.scheduler.Scheduler`: a bounded thread pool whose
+admission queue back-pressures closed-loop clients and sheds load for
+open-loop ones.  Scans parallelize despite the GIL because the decode
+and filter kernels are vectorized numpy.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from ..core.predicates import Predicate
 from ..core.router import QueryRouter
 from ..core.tree import QdTree
 from ..core.workload import Query
 from ..engine.executor import QueryStats, ScanEngine
 from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..exec import (
+    RouteMemo,
+    ServeResult,
+    serial_pipeline,
+    single_layout_pipeline,
+)
 from ..sql.planner import SqlPlanner
 from ..storage.blocks import BlockStore
 from .cache import BlockCache, CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
-from .result_cache import CachedResult, ResultCache
+from .result_cache import ResultCache
 from .scheduler import AdmissionRejected, Scheduler
 
 __all__ = [
@@ -63,38 +72,28 @@ def run_serial_baseline(
 ) -> Tuple[float, Tuple[QueryStats, ...]]:
     """The pre-serving execution path, for speedup comparisons.
 
-    Plans the statements once, then routes, SMA-prunes and scans every
-    arrival from scratch, one at a time — exactly what executing the
-    workload cost before :class:`LayoutService` existed.  Returns
-    ``(sustained QPS, per-query stats)``.
+    A memo-less, cache-less :func:`~repro.exec.pipeline.serial_pipeline`
+    configuration: statements are planned once up front (planning was
+    never part of the measured serial cost), then every arrival
+    routes, SMA-prunes and scans from scratch, one at a time — exactly
+    what executing the workload cost before :class:`LayoutService`
+    existed.  Returns ``(sustained QPS, per-query stats)``.
     """
     engine = ScanEngine(store, profile, num_advanced_cuts=num_advanced_cuts)
     if planner is None:
         planner = SqlPlanner(store.schema)
     router = QueryRouter(tree) if tree is not None else None
-    queries = [planner.plan(sql).query for sql in statements]
+    pipeline = serial_pipeline(planner, engine, router, store)
+    for sql in statements:
+        planner.plan(sql)
     t0 = time.perf_counter()
     stats = []
     for _ in range(repeat):
-        for query in queries:
-            bids = router.route(query).block_ids if router is not None else None
-            stats.append(engine.execute(query, bids))
+        for sql in statements:
+            stats.append(pipeline.execute(sql).stats)
     seconds = time.perf_counter() - t0
     qps = len(stats) / seconds if seconds > 0 else 0.0
     return qps, tuple(stats)
-
-
-@dataclass(frozen=True)
-class ServeResult:
-    """Outcome of one served query."""
-
-    sql: str
-    stats: QueryStats
-    #: End-to-end seconds (queue wait + plan + route + scan when the
-    #: query went through the scheduler; service time otherwise).
-    latency_seconds: float
-    #: BIDs the router narrowed the query to (``None`` without a tree).
-    routed_block_ids: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -113,39 +112,6 @@ class ReplayResult:
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
-class RouteMemo:
-    """Bounded, thread-safe memo for per-predicate routing decisions.
-
-    Shared by :class:`LayoutService` and the sharded coordinator so
-    both facades carry one memoization discipline: hits cost two dict
-    lookups under a small lock; misses compute *outside* the lock (a
-    racing duplicate computation is benign); inserts FIFO-evict past
-    ``cap`` so a long-lived service under ad-hoc traffic cannot grow
-    without limit.
-    """
-
-    def __init__(self, cap: int = 16384) -> None:
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Predicate, object]" = OrderedDict()
-        self.cap = cap
-
-    def get_or_compute(self, key: Predicate, compute):
-        with self._lock:
-            hit = self._entries.get(key)
-            if hit is not None:
-                return hit
-        entry = compute()
-        with self._lock:
-            self._entries[key] = entry
-            while len(self._entries) > self.cap:
-                self._entries.popitem(last=False)
-        return entry
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-
 class ReplayableService:
     """Workload-replay driving shared by serving facades.
 
@@ -153,9 +119,10 @@ class ReplayableService:
     :meth:`submit_sql`, and :meth:`_cache_stats`; they inherit the
     closed-loop / open-loop replay drivers, windowed snapshots and the
     context-manager protocol.  This is what lets the single-service
-    :class:`LayoutService` and the scatter-gather
-    :class:`~repro.serve.shard.ShardedLayoutService` present one
-    client-facing API.
+    :class:`LayoutService`, the scatter-gather
+    :class:`~repro.serve.shard.ShardedLayoutService` and the
+    multi-layout :class:`~repro.serve.multi.MultiLayoutService`
+    present one client-facing API.
     """
 
     metrics: ServingMetrics
@@ -273,6 +240,10 @@ class ReplayableService:
 class LayoutService(ReplayableService):
     """Thread-safe query-serving facade over one physical layout.
 
+    A thin configuration of the shared execution pipeline: the service
+    owns the *resources* (buffer pool, scheduler, metrics, planner)
+    and the pipeline owns the *logic* (plan/route/cache/prune/scan).
+
     Parameters
     ----------
     store:
@@ -301,10 +272,10 @@ class LayoutService(ReplayableService):
         Optional :class:`~repro.serve.result_cache.ResultCache` plus
         the generation of the layout this service fronts.  When given,
         repeated queries return the memoized
-        :class:`~repro.engine.executor.QueryStats` without routing,
-        pruning or scanning; entries are keyed under ``generation`` so
-        a database that swaps or re-ingests layouts can never serve a
-        stale result through a cache shared across generations.
+        :class:`~repro.engine.executor.QueryStats` without pruning or
+        scanning; entries are keyed under ``generation`` so a database
+        that swaps or re-ingests layouts can never serve a stale
+        result through a cache shared across generations.
     """
 
     def __init__(
@@ -340,77 +311,27 @@ class LayoutService(ReplayableService):
         )
         self.metrics = ServingMetrics()
         self.scheduler = Scheduler(max_workers=max_workers, queue_depth=queue_depth)
-        # Routing memo: predicate fingerprint -> (routed BIDs or None,
-        # pre-prune candidate count, post-SMA survivor BIDs).  Repeated
-        # predicate shapes skip both the tree walk and the per-block
-        # min-max intersection, the two Python-level costs that dwarf
-        # the vectorized scan itself.  A separate small lock guards the
-        # router's internal latency state on misses.
-        self._router_lock = threading.Lock()
-        self._route_memo = RouteMemo()
         self.result_cache = result_cache
         self.generation = generation
+        self.pipeline = single_layout_pipeline(
+            planner=self.planner,
+            engine=self.engine,
+            router=self.router,
+            store=store,
+            result_cache=result_cache,
+            generation=generation,
+            metrics=self.metrics,
+        )
+        # Kept for observability (report()) — the memo itself belongs
+        # to the pipeline's route stage.
+        self._route_memo: RouteMemo = self.pipeline.stage("route").memo
 
     # ------------------------------------------------------------------
     # Single-query path
     # ------------------------------------------------------------------
 
-    def _route(
-        self, query: Query
-    ) -> Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]:
-        """Routed BIDs, candidate count, and SMA survivors — memoized
-        so repeated predicate shapes cost two dict lookups."""
-        return self._route_memo.get_or_compute(
-            query.predicate, lambda: self._compute_route(query)
-        )
-
-    def _compute_route(
-        self, query: Query
-    ) -> Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]:
-        if self.router is not None:
-            with self._router_lock:
-                routed: Optional[Tuple[int, ...]] = self.router.route(
-                    query
-                ).block_ids
-            considered = len(set(routed) & self.store.bid_set)
-        else:
-            routed = None
-            considered = self.store.num_blocks
-        survivors = tuple(self.engine.prune_blocks(query, routed))
-        return (routed, considered, survivors)
-
     def _serve(self, sql: str, admitted_at: float) -> ServeResult:
-        planned = self.planner.plan(sql)
-        if self.result_cache is not None:
-            hit = self.result_cache.get(
-                planned.query, self.generation, self.engine.profile
-            )
-            if hit is not None:
-                latency = time.perf_counter() - admitted_at
-                self.metrics.record(latency, hit.stats, cached=True)
-                return ServeResult(
-                    sql=sql,
-                    stats=hit.stats,
-                    latency_seconds=latency,
-                    routed_block_ids=hit.routed_block_ids,
-                )
-        routed, considered, survivors = self._route(planned.query)
-        stats = self.engine.execute_pruned(planned.query, survivors, considered)
-        if self.result_cache is not None:
-            self.result_cache.put(
-                planned.query,
-                self.generation,
-                CachedResult(stats, routed),
-                self.engine.profile,
-            )
-        latency = time.perf_counter() - admitted_at
-        self.metrics.record(latency, stats)
-        return ServeResult(
-            sql=sql,
-            stats=stats,
-            latency_seconds=latency,
-            routed_block_ids=routed,
-        )
+        return self.pipeline.execute(sql, admitted_at)
 
     def execute_sql(self, sql: str) -> ServeResult:
         """Serve one statement synchronously on the caller's thread."""
@@ -440,10 +361,10 @@ class LayoutService(ReplayableService):
         """Scan an already-routed/pruned survivor list on the caller's
         thread, recording into this service's metrics.
 
-        This is the per-shard execution entry a scatter-gather
-        coordinator uses: the coordinator owns planning, routing and
-        the survivor memo; the shard owns the scan, its buffer pool
-        and its local accounting.
+        This is the per-shard execution leaf the sharded pipeline's
+        scatter stage calls into: the coordinator owns planning,
+        routing and the survivor memo; the shard owns the scan, its
+        buffer pool and its local accounting.
         """
         t0 = time.perf_counter()
         stats = self.engine.execute_pruned(query, survivors, blocks_considered)
@@ -470,10 +391,9 @@ class LayoutService(ReplayableService):
 
     def collect_row_ids(self, sql: str):
         """Matched original-table row ids for one statement (sorted,
-        deduped); requires blocks built with row-id provenance."""
-        planned = self.planner.plan(sql)
-        _routed, _, survivors = self._route(planned.query)
-        return self.engine.collect_row_ids(planned.query, survivors, pruned=True)
+        deduped, served from the byte-bounded row-id cache on
+        repeats); requires blocks built with row-id provenance."""
+        return self.pipeline.collect_row_ids(sql)
 
     # ------------------------------------------------------------------
     # Observability & lifecycle
@@ -501,7 +421,8 @@ class LayoutService(ReplayableService):
                 f"result cache       {rc.entries} entries / "
                 f"{100 * rc.hit_rate:.1f}% hit rate "
                 f"(gen {self.generation}, "
-                f"{rc.tuples_avoided} tuple-scans avoided)"
+                f"{rc.tuples_avoided} tuple-scans avoided, "
+                f"{rc.row_id_bytes} row-id bytes)"
             )
         return "\n".join(lines)
 

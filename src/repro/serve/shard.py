@@ -1,23 +1,25 @@
 """Sharded scatter-gather serving over a partitioned block store.
 
-:class:`ShardedLayoutService` is the first multi-service topology in
-the codebase: it splits a finished :class:`~repro.storage.blocks.
-BlockStore` into N disjoint shards (round-robin by BID, or by qd-tree
-subtree to preserve routing locality), runs one full
-:class:`~repro.serve.service.LayoutService` — engine, buffer pool,
-scheduler, metrics — per shard, and fronts them with a scatter-gather
-coordinator::
+:class:`ShardedLayoutService` splits a finished
+:class:`~repro.storage.blocks.BlockStore` into N disjoint shards
+(round-robin by BID, or by qd-tree subtree to preserve routing
+locality), runs one full :class:`~repro.serve.service.LayoutService` —
+engine, buffer pool, scheduler, metrics — per shard, and fronts them
+with a scatter-gather coordinator.  The coordinator is a configuration
+of the shared :class:`~repro.exec.pipeline.QueryPipeline`::
 
     SQL text
-      -> SqlPlanner            (shared, memoized)
-      -> coordinator routing   (one tree walk + SMA prune per unique
-                                predicate, memoized as per-shard
-                                survivor lists)
-      -> scatter               (submit shard-local scans ONLY to the
-                                shards owning surviving blocks)
-      -> gather + merge        (per-shard QueryStats folded into one
-                                result with the same ``result_key`` as
-                                unsharded execution)
+      -> PlanStage         (shared, memoized)
+      -> RouteStage        (one tree walk per unique predicate)
+      -> ResultCacheStage  (a hit skips the whole scatter — no shard
+                           sees the query at all)
+      -> ShardPruneStage   (one SMA prune per unique predicate,
+                           memoized as per-shard survivor lists)
+      -> ScatterScanStage  (submit shard-local scans ONLY to the
+                           shards owning surviving blocks)
+      -> MergeStage        (per-shard QueryStats folded into one
+                           result with the same ``result_key`` as
+                           unsharded execution)
 
 Partition-strategy trade-offs (see also
 :func:`repro.core.router.subtree_shard_assignment`):
@@ -42,44 +44,29 @@ partitioned plan is *proved* equivalent to the unpartitioned one.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.router import QueryRouter, subtree_shard_assignment
 from ..core.tree import QdTree
-from ..core.workload import Query
-from ..engine.executor import QueryStats
 from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..exec import RouteMemo, ServeResult, sharded_pipeline
 from ..sql.planner import SqlPlanner
 from ..storage.blocks import BlockStore
 from .cache import CacheStats
 from .metrics import MetricsSnapshot, ServingMetrics
-from .result_cache import CachedResult, ResultCache
-from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
+from .result_cache import ResultCache
+from .scheduler import Scheduler, SchedulerStats
 from .service import (
     DEFAULT_CACHE_BUDGET,
     LayoutService,
     ReplayableService,
-    RouteMemo,
-    ServeResult,
 )
 
 __all__ = ["ShardSnapshot", "ShardedLayoutService"]
-
-#: Route-memo entry: (routed BIDs or None, deduped global candidate
-#: count, per-shard SMA-surviving BID tuples, per-shard pre-prune
-#: candidate counts, owning shard indices).
-_RouteEntry = Tuple[
-    Optional[Tuple[int, ...]],
-    int,
-    Tuple[Tuple[int, ...], ...],
-    Tuple[int, ...],
-    Tuple[int, ...],
-]
 
 
 @dataclass(frozen=True)
@@ -128,9 +115,8 @@ class ShardedLayoutService(ReplayableService):
     result_cache / generation:
         Optional generation-keyed
         :class:`~repro.serve.result_cache.ResultCache`, consulted at
-        the coordinator: a hit skips routing AND the whole scatter —
-        no shard sees the query at all (same semantics as
-        :class:`LayoutService`).
+        the coordinator: a hit skips the whole scatter — no shard sees
+        the query at all (same semantics as :class:`LayoutService`).
     """
 
     def __init__(
@@ -204,156 +190,27 @@ class ShardedLayoutService(ReplayableService):
             ),
             queue_depth=queue_depth,
         )
-        # Coordinator routing memo — same shared discipline as
-        # LayoutService's (see RouteMemo), with per-shard survivor
-        # lists as the payload.
-        self._router_lock = threading.Lock()
-        self._route_memo = RouteMemo()
         self.result_cache = result_cache
         self.generation = generation
-        # Scatter accounting: how many shards each query fanned out to.
-        self._fanout_lock = threading.Lock()
-        self._fanout_queries = 0
-        self._fanout_shards = 0
-
-    # ------------------------------------------------------------------
-    # Routing (coordinator-side, memoized with per-shard survivors)
-    # ------------------------------------------------------------------
-
-    def _route(self, query: Query) -> _RouteEntry:
-        return self._route_memo.get_or_compute(
-            query.predicate, lambda: self._compute_route(query)
+        self.pipeline = sharded_pipeline(
+            planner=self.planner,
+            shards=self.shards,
+            router=self.router,
+            store=store,
+            profile=profile,
+            result_cache=result_cache,
+            generation=generation,
+            metrics=self.metrics,
         )
-
-    def _compute_route(self, query: Query) -> _RouteEntry:
-        if self.router is not None:
-            with self._router_lock:
-                routed: Optional[Tuple[int, ...]] = self.router.route(
-                    query
-                ).block_ids
-            # Candidate count deduped against the *full* store: a BID
-            # can only be counted once no matter how shards partition
-            # (or a future layout replicates) it.
-            considered = len(set(routed) & self.store.bid_set)
-        else:
-            routed = None
-            considered = self.store.num_blocks
-        per_shard = tuple(
-            tuple(shard.engine.prune_blocks(query, routed))
-            for shard in self.shards
-        )
-        if routed is not None:
-            routed_set = set(routed)
-            shard_considered = tuple(
-                len(routed_set & shard.store.bid_set) for shard in self.shards
-            )
-        else:
-            shard_considered = tuple(
-                shard.store.num_blocks for shard in self.shards
-            )
-        owners = tuple(i for i, surv in enumerate(per_shard) if surv)
-        return (routed, considered, per_shard, shard_considered, owners)
+        self._route_memo: RouteMemo = self.pipeline.stage("route").memo
+        self._scatter = self.pipeline.stage("scan")
 
     # ------------------------------------------------------------------
-    # Scatter-gather execution
+    # Execution (delegates to the shared pipeline)
     # ------------------------------------------------------------------
-
-    def _merge(
-        self,
-        query: Query,
-        considered: int,
-        parts: Sequence[QueryStats],
-        wall_seconds: float,
-    ) -> QueryStats:
-        """Fold per-shard stats into one result.
-
-        Scan totals sum (shards own disjoint blocks); the candidate
-        count is the coordinator's deduped value; ``columns_read`` and
-        ``modeled_ms`` are recomputed from the merged totals exactly as
-        the unsharded scan computes them, so ``result_key()`` comes out
-        bit-identical to single-service execution.
-        """
-        filter_columns = sorted(query.predicate.referenced_columns())
-        scan_columns = sorted(set(filter_columns) | set(query.scan_columns()))
-        if not self.profile.columnar:
-            scan_columns = list(self.store.schema.column_names)
-        blocks_scanned = sum(p.blocks_scanned for p in parts)
-        tuples_scanned = sum(p.tuples_scanned for p in parts)
-        rows_returned = sum(p.rows_returned for p in parts)
-        bytes_read = sum(p.bytes_read for p in parts)
-        return QueryStats(
-            query_name=query.name,
-            template=query.template,
-            blocks_considered=considered,
-            blocks_scanned=blocks_scanned,
-            tuples_scanned=tuples_scanned,
-            rows_returned=rows_returned,
-            columns_read=len(scan_columns),
-            modeled_ms=self.profile.modeled_ms(
-                blocks_scanned=blocks_scanned,
-                tuples_scanned=tuples_scanned,
-                columns_read=len(scan_columns),
-            ),
-            wall_seconds=wall_seconds,
-            bytes_read=bytes_read,
-        )
 
     def _serve(self, sql: str, admitted_at: float) -> ServeResult:
-        planned = self.planner.plan(sql)
-        query = planned.query
-        if self.result_cache is not None:
-            hit = self.result_cache.get(query, self.generation, self.profile)
-            if hit is not None:
-                # Coordinator-level hit: no routing, no scatter — the
-                # shards never see the query (fan-out accounting only
-                # measures real scatters, so it is untouched here).
-                latency = time.perf_counter() - admitted_at
-                self.metrics.record(latency, hit.stats, cached=True)
-                return ServeResult(
-                    sql=sql,
-                    stats=hit.stats,
-                    latency_seconds=latency,
-                    routed_block_ids=hit.routed_block_ids,
-                )
-        routed, considered, per_shard, shard_considered, owners = self._route(
-            query
-        )
-        t0 = time.perf_counter()
-        # Scatter: only shards owning surviving blocks see the query.
-        # Two-phase so one saturated shard cannot head-of-line-block
-        # the fan-out: a non-blocking pass dispatches to every shard
-        # with admission room first, then the stragglers are waited on.
-        futures = {}
-        deferred = []
-        for i in owners:
-            try:
-                futures[i] = self.shards[i].submit_pruned(
-                    query, per_shard[i], shard_considered[i], block=False
-                )
-            except AdmissionRejected:
-                deferred.append(i)
-        for i in deferred:
-            futures[i] = self.shards[i].submit_pruned(
-                query, per_shard[i], shard_considered[i]
-            )
-        # Gather.
-        parts = [futures[i].result() for i in owners]
-        stats = self._merge(query, considered, parts, time.perf_counter() - t0)
-        if self.result_cache is not None:
-            self.result_cache.put(
-                query, self.generation, CachedResult(stats, routed), self.profile
-            )
-        latency = time.perf_counter() - admitted_at
-        self.metrics.record(latency, stats)
-        with self._fanout_lock:
-            self._fanout_queries += 1
-            self._fanout_shards += len(owners)
-        return ServeResult(
-            sql=sql,
-            stats=stats,
-            latency_seconds=latency,
-            routed_block_ids=routed,
-        )
+        return self.pipeline.execute(sql, admitted_at)
 
     def execute_sql(self, sql: str) -> ServeResult:
         """Serve one statement, scattering from the caller's thread."""
@@ -372,18 +229,9 @@ class ShardedLayoutService(ReplayableService):
 
     def collect_row_ids(self, sql: str) -> np.ndarray:
         """Matched original-table row ids, unioned across shards
-        (sorted, deduped); requires row-id provenance on the blocks."""
-        planned = self.planner.plan(sql)
-        _routed, _, per_shard, _considered, owners = self._route(planned.query)
-        parts = [
-            self.shards[i].engine.collect_row_ids(
-                planned.query, per_shard[i], pruned=True
-            )
-            for i in owners
-        ]
-        if not parts:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(parts))
+        (sorted, deduped, cached per predicate in the byte-bounded
+        row-id store); requires row-id provenance on the blocks."""
+        return self.pipeline.collect_row_ids(sql)
 
     # ------------------------------------------------------------------
     # Observability & lifecycle
@@ -397,9 +245,7 @@ class ShardedLayoutService(ReplayableService):
         self.metrics.reset()
         for shard in self.shards:
             shard.metrics.reset()
-        with self._fanout_lock:
-            self._fanout_queries = 0
-            self._fanout_shards = 0
+        self._scatter.reset_fanout()
 
     def shard_snapshots(self) -> Tuple[ShardSnapshot, ...]:
         """Per-shard metrics/scheduler snapshots (aggregate view comes
@@ -425,10 +271,7 @@ class ShardedLayoutService(ReplayableService):
     def mean_fanout(self) -> float:
         """Mean shards scattered to per query (the partition-locality
         metric: lower means the strategy kept survivors together)."""
-        with self._fanout_lock:
-            if self._fanout_queries == 0:
-                return 0.0
-            return self._fanout_shards / self._fanout_queries
+        return self._scatter.mean_fanout
 
     def report(self) -> str:
         """Operator-facing text report: aggregate, then per shard."""
@@ -465,7 +308,8 @@ class ShardedLayoutService(ReplayableService):
                 f"result cache       {rc.entries} entries / "
                 f"{100 * rc.hit_rate:.1f}% hit rate "
                 f"(gen {self.generation}, "
-                f"{rc.tuples_avoided} tuple-scans avoided)"
+                f"{rc.tuples_avoided} tuple-scans avoided, "
+                f"{rc.row_id_bytes} row-id bytes)"
             )
         return "\n".join(lines)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 __all__ = ["TokenType", "Token", "tokenize", "SqlSyntaxError"]
 

@@ -24,9 +24,8 @@ Grammar (standard precedence: OR < AND < NOT < comparison)::
 
 from __future__ import annotations
 
-import fnmatch
 import re
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -34,7 +33,6 @@ from ..core.predicates import (
     AdvancedCut,
     ColumnPredicate,
     Not,
-    Op,
     Predicate,
     column_eq,
     column_ge,

@@ -23,11 +23,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.cuts import CutRegistry, extract_candidate_cuts
-from ..core.predicates import AdvancedCut, Predicate
+from ..core.cuts import CutRegistry
+from ..core.predicates import AdvancedCut
 from ..core.workload import Query, Workload
 from ..storage.schema import Schema
-from .lexer import SqlSyntaxError, Token, TokenType, tokenize
+from .lexer import SqlSyntaxError, TokenType, tokenize
 from .parser import PredicateParser
 
 __all__ = ["PlannedQuery", "SqlPlanner"]

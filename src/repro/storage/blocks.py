@@ -14,7 +14,7 @@ persisted to disk as ``.npz`` via :mod:`repro.storage.catalog`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

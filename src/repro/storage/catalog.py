@@ -11,9 +11,8 @@ rebuilding min-max indexes from the raw data).
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .schema import Schema
 from .table import Table
 
 __all__ = ["ColumnStats", "MinMaxIndex"]

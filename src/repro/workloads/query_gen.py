@@ -11,7 +11,7 @@ robustness experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

@@ -27,7 +27,6 @@ import numpy as np
 
 from ..core.predicates import (
     AdvancedCut,
-    Predicate,
     column_eq,
     column_ge,
     column_gt,
@@ -38,7 +37,7 @@ from ..core.predicates import (
     disjunction,
 )
 from ..core.workload import Query, Workload
-from ..storage.schema import Column, Schema, categorical, numeric
+from ..storage.schema import Schema, categorical, numeric
 from ..storage.table import Table
 from .base import Dataset
 

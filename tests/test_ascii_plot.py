@@ -1,7 +1,6 @@
 """Unit tests for repro.bench.ascii_plot."""
 
 import numpy as np
-import pytest
 
 from repro.bench import bar_chart, cdf_chart, line_chart
 

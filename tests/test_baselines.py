@@ -11,8 +11,6 @@ from repro.baselines import (
     unary_implies,
 )
 from repro.core import (
-    And,
-    Or,
     column_eq,
     column_ge,
     column_gt,

@@ -82,7 +82,7 @@ class TestPartition:
     def test_skipping_beats_random(self, mixed_schema, mixed_table):
         """Bottom-Up should group rows so some queries skip blocks."""
         from repro.baselines import RandomPartitioner
-        from repro.core import conjunction, column_ge
+        from repro.core import column_ge
         from repro.engine import SPARK_PARQUET, ScanEngine, WorkloadReport
 
         wl = Workload(

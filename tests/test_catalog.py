@@ -10,7 +10,6 @@ from repro.storage import (
     categorical,
     load_store,
     load_table,
-    numeric,
     save_store,
     save_table,
 )

@@ -1,7 +1,6 @@
 """Unit tests for the repro CLI."""
 
 import json
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -141,22 +140,51 @@ class TestStrategyFlag:
     def test_strategy_typo_lists_registered_names(
         self, table_dir, queries_file, tmp_path, capsys
     ):
-        with pytest.raises(SystemExit) as excinfo:
-            main(
-                [
-                    "build",
-                    "--table", str(table_dir),
-                    "--queries", str(queries_file),
-                    "--out", str(tmp_path / "x"),
-                    "--strategy", "greedyy",
-                ]
-            )
-        assert excinfo.value.code == 2
+        # Registry validation (not argparse choices): main() returns
+        # exit code 2 and stderr names every registered strategy.
+        code = main(
+            [
+                "build",
+                "--table", str(table_dir),
+                "--queries", str(queries_file),
+                "--out", str(tmp_path / "x"),
+                "--strategy", "greedyy",
+            ]
+        )
+        assert code == 2
         err = capsys.readouterr().err
+        assert "unknown layout strategy 'greedyy'" in err
         from repro.db import strategy_names
 
         for name in strategy_names():
             assert name in err
+
+    def test_late_registered_strategy_accepted(
+        self, table_dir, queries_file, tmp_path
+    ):
+        """A strategy registered AFTER parser construction builds fine
+        (the old argparse ``choices`` list would have rejected it)."""
+        from repro.db import register_strategy
+        from repro.db.registry import _REGISTRY, RandomStrategy
+
+        class LateStrategy(RandomStrategy):
+            name = "late-test-strategy"
+
+        register_strategy(LateStrategy())
+        try:
+            code = main(
+                [
+                    "build",
+                    "--table", str(table_dir),
+                    "--queries", str(queries_file),
+                    "--out", str(tmp_path / "late"),
+                    "--strategy", "late-test-strategy",
+                    "--min-block-size", "500",
+                ]
+            )
+            assert code == 0
+        finally:
+            _REGISTRY.pop("late-test-strategy", None)
 
     def test_help_lists_registered_strategies(self, capsys):
         with pytest.raises(SystemExit):
@@ -167,23 +195,47 @@ class TestStrategyFlag:
         for name in strategy_names():
             assert name in out
 
-    def test_method_alias_still_works(
+    def test_method_alias_still_works_but_warns(
         self, table_dir, queries_file, tmp_path, capsys
     ):
         out = tmp_path / "layout-alias"
-        code = main(
-            [
-                "build",
-                "--table", str(table_dir),
-                "--queries", str(queries_file),
-                "--out", str(out),
-                "--method", "greedy",
-                "--min-block-size", "200",
-            ]
-        )
+        with pytest.warns(DeprecationWarning, match="--method is deprecated"):
+            code = main(
+                [
+                    "build",
+                    "--table", str(table_dir),
+                    "--queries", str(queries_file),
+                    "--out", str(out),
+                    "--method", "greedy",
+                    "--min-block-size", "200",
+                ]
+            )
         assert code == 0
         meta = json.loads((out / "layout-meta.json").read_text())
         assert meta["method"] == "greedy"
+        # DeprecationWarning is invisible under default CLI warning
+        # filters, so the alias also tells the user on stderr.
+        assert "--method is deprecated" in capsys.readouterr().err
+
+    def test_strategy_flag_does_not_warn(
+        self, table_dir, queries_file, tmp_path
+    ):
+        import warnings
+
+        out = tmp_path / "layout-nowarn"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            code = main(
+                [
+                    "build",
+                    "--table", str(table_dir),
+                    "--queries", str(queries_file),
+                    "--out", str(out),
+                    "--strategy", "greedy",
+                    "--min-block-size", "200",
+                ]
+            )
+        assert code == 0
 
 
 class TestInspect:

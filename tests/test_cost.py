@@ -1,6 +1,5 @@
 """Unit tests for repro.core.cost (the skipping model)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

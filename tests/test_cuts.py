@@ -9,7 +9,6 @@ from repro.core import (
     Query,
     Workload,
     column_eq,
-    column_ge,
     column_gt,
     column_lt,
     conjunction,

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Query, column_eq, column_ge, column_lt, conjunction
-from repro.core.workload import Workload
+from repro.core import Query, column_eq, column_ge, column_lt
 from repro.engine import (
     COMMERCIAL_DBMS,
     SPARK_PARQUET,

@@ -9,7 +9,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -76,6 +75,17 @@ def test_continuous_ingestion_example_small(capsys):
     assert "learned layout (gen 1)" in out
     assert "stale results impossible" in out
     assert "re-learning advised" in out
+
+
+def test_multi_layout_serving_example_small(capsys):
+    run_example(
+        "multi_layout_serving.py",
+        ["--rows", "12000", "--repeat", "2"],
+    )
+    out = capsys.readouterr().out
+    assert "cost-arbitrated multi-layout" in out
+    assert "layout wins" in out
+    assert "winner" in out
 
 
 def test_quickstart_example_small(capsys):

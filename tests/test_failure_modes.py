@@ -88,7 +88,6 @@ class TestDegenerateWorkloads:
         assert len(tree.leaves()) == 1
 
     def test_engine_on_empty_store(self, mixed_schema):
-        table = Table.empty(mixed_schema)
         store = BlockStore(mixed_schema, [])
         engine = ScanEngine(store, SPARK_PARQUET)
         q = Query(column_lt("age", 10), name="q")

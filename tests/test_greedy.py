@@ -9,9 +9,7 @@ from repro.core import (
     Query,
     Workload,
     build_greedy_tree,
-    column_gt,
     column_lt,
-    disjunction,
     leaf_sizes,
     scan_ratio,
 )

@@ -8,10 +8,8 @@ from repro.core import (
     GreedyConfig,
     IngestionPipeline,
     build_greedy_tree,
-    column_lt,
-    validate_layout,
 )
-from repro.storage import Schema, Table, numeric
+from repro.storage import Table
 
 
 @pytest.fixture
@@ -94,7 +92,6 @@ class TestIngestionPipeline:
         for batch in batches:
             pipeline.ingest(batch)
         store = pipeline.finish()
-        columns = merged.columns()
         bids = learned_tree.route_to_blocks(merged)
         for block in store:
             stored = block.num_rows

@@ -1,6 +1,5 @@
 """End-to-end integration tests across all subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (
@@ -18,7 +17,7 @@ from repro.bench import (
     run_physical,
 )
 from repro.core import QdTree, QueryRouter
-from repro.engine import COMMERCIAL_DBMS, SPARK_PARQUET, speedup_cdf
+from repro.engine import SPARK_PARQUET, speedup_cdf
 from repro.sql import SqlPlanner
 from repro.storage import load_store, save_store
 from repro.workloads import (

@@ -8,7 +8,6 @@ from repro.core import (
     NodeDescription,
     column_eq,
     column_ge,
-    column_gt,
     column_in,
     column_le,
     column_lt,

@@ -84,13 +84,11 @@ class TestOverlapLayout:
     def test_queries_never_lose_rows(self, layout):
         """Correctness: pruned block sets still cover all matching rows."""
         ds, ol = layout
-        row_bids = ol.tree.route_to_blocks(ds.table)
         columns = ds.table.columns()
         for query in ds.workload:
             matches = np.flatnonzero(query.predicate.evaluate(columns))
             covered = set()
             for bid in ol.blocks_for_query(query):
-                block = ol.store.block(bid)
                 # Identify member rows via the assignment map.
                 covered.update(
                     row for row, blist in ol.assignments.items() if bid in blist

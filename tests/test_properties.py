@@ -17,9 +17,7 @@ from hypothesis import strategies as st
 from repro.core import (
     CutRegistry,
     Interval,
-    NodeDescription,
     QdTree,
-    column_eq,
     column_ge,
     column_gt,
     column_in,

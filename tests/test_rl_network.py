@@ -106,7 +106,6 @@ class TestPolicyValueNet:
 
 class TestAdam:
     def test_minimizes_quadratic(self):
-        rng = np.random.default_rng(0)
         param = np.array([5.0, -3.0])
         grad = np.zeros(2)
         opt = Adam([(param, grad)], learning_rate=0.1)

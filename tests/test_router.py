@@ -9,7 +9,6 @@ from repro.core import (
     QdTree,
     QueryRouter,
     column_eq,
-    column_ge,
     column_lt,
 )
 

@@ -1,7 +1,6 @@
 """Tests for the repro.serve query-serving subsystem."""
 
 import threading
-import time
 
 import numpy as np
 import pytest

@@ -252,6 +252,101 @@ def test_hammer_block_cache_budget_never_exceeded():
     assert stats.hits + stats.misses == sum(column_reads)
 
 
+def small_layout():
+    """A tiny tree-less layout: enough blocks to scan, fast to build."""
+    from repro.db import Database
+
+    schema = Schema([numeric("x", (0.0, 1.0)), numeric("y", (0.0, 1.0))])
+    rng = np.random.default_rng(9)
+    n = 6_000
+    table = Table(
+        schema, {"x": rng.uniform(size=n), "y": rng.uniform(size=n)}
+    )
+    db = Database.from_table(table, min_block_size=300)
+    db.build_layout("range", column="x")
+    return db
+
+
+def saturate(service, statements, burst: int) -> int:
+    """Fire a non-blocking burst; returns how many were shed."""
+    futures = []
+    shed = 0
+    for i in range(burst):
+        try:
+            futures.append(
+                service.submit_sql(statements[i % len(statements)], block=False)
+            )
+        except AdmissionRejected:
+            shed += 1
+    for f in futures:
+        f.result(timeout=30)
+    return shed
+
+
+SHED_STATEMENTS = [
+    "SELECT * FROM t WHERE x < 0.7",
+    "SELECT y FROM t WHERE y >= 0.2 AND x < 0.9",
+]
+
+
+def test_shed_counters_reconcile_single_service():
+    """Saturating burst through the pipeline-backed LayoutService:
+    every offered query is admitted or shed, admitted == completed
+    after the drain, and nothing stays in flight."""
+    db = small_layout()
+    burst = 120
+    with db.serve(
+        max_workers=1, queue_depth=2, result_cache=False
+    ) as service:
+        shed = saturate(service, SHED_STATEMENTS, burst)
+        drain_single(service)
+        stats = service.scheduler.stats()
+    assert shed > 0, "burst never saturated the queue"
+    assert stats.rejected == shed
+    assert stats.in_flight == 0
+    assert stats.submitted == stats.completed  # admitted == completed
+    assert stats.offered == stats.completed + stats.rejected
+    assert stats.offered == burst
+
+
+def test_shed_counters_reconcile_sharded_service():
+    """Same reconciliation through the sharded coordinator: the
+    coordinator sheds, shard pools complete everything scattered to
+    them (the scatter stage's deferred pass blocks, never sheds)."""
+    db = small_layout()
+    burst = 120
+    with db.serve(
+        shards=2,
+        partition="rr",
+        max_workers=1,
+        queue_depth=1,
+        coordinator_workers=2,
+        result_cache=False,
+    ) as service:
+        shed = saturate(service, SHED_STATEMENTS, burst)
+        drain(service)
+        coord, agg = service.scheduler_stats()
+    assert shed > 0, "burst never saturated the coordinator queue"
+    assert coord.rejected == shed
+    assert coord.in_flight == 0
+    assert coord.submitted == coord.completed  # admitted == completed
+    assert coord.offered == coord.completed + coord.rejected
+    assert coord.offered == burst
+    # Shard pools never shed scattered work and fully drained too.
+    assert agg.in_flight == 0
+    assert agg.submitted == agg.completed
+
+
+def drain_single(service, timeout: float = 5.0) -> None:
+    """Single-service variant of :func:`drain`."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if service.scheduler.stats().in_flight == 0:
+            return
+        time.sleep(0.002)
+    raise AssertionError("scheduler counters did not drain")
+
+
 def test_scheduler_stats_merge_reconciles():
     parts = [
         SchedulerStats(

@@ -6,9 +6,7 @@ import pytest
 from repro.core import (
     AdvancedCut,
     And,
-    ColumnPredicate,
     Not,
-    Op,
     Or,
     column_eq,
     column_ge,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Query, Workload, column_ge, column_lt
+from repro.core import Query, Workload, column_lt
 
 
 class TestQuery:
