@@ -1,0 +1,168 @@
+"""Query-log capture: the observed side of the adaptation loop.
+
+:class:`QueryLog` is a bounded, thread-safe ring of
+:class:`QueryRecord` — one normalized fingerprint plus the *realized*
+per-query costs (blocks surviving the prune, bytes scanned, cache
+hit) for every statement the system served.  It is fed by the
+``RecordStage`` at the tail of every
+:class:`~repro.exec.pipeline.QueryPipeline` configuration, so the
+serial baseline, ``db.execute``, :class:`LayoutService`, the sharded
+coordinator and the multi-layout arbiter all populate the same log
+shape.
+
+The log answers two questions for the control plane:
+
+* *what does live traffic look like?* — :meth:`signature` folds the
+  most recent window into a
+  :class:`~repro.adapt.signature.WorkloadSignature` the
+  :class:`~repro.adapt.drift.DriftDetector` compares against the
+  layout's build-time signature;
+* *what would it cost to serve better?* — :meth:`statements` hands the
+  window's SQL (frequency-weighted) to the
+  :class:`~repro.adapt.reoptimize.Reoptimizer` as the training
+  workload for a candidate layout.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .signature import WorkloadSignature, template_key
+
+__all__ = ["QueryLog", "QueryRecord"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One served query's fingerprint and realized cost."""
+
+    sql: str
+    #: Canonical filter shape (:func:`~repro.adapt.signature.template_key`).
+    template: str
+    #: Columns the filter referenced (sorted).
+    filter_columns: Tuple[str, ...]
+    #: Generation of the layout that answered (the arbitration winner's
+    #: under multi-layout serving).
+    generation: int
+    blocks_considered: int
+    blocks_scanned: int
+    tuples_scanned: int
+    bytes_read: int
+    rows_returned: int
+    #: True when the result came from the result cache (the costs above
+    #: are then the original execution's — the deterministic cost of
+    #: this layout, not of this arrival).
+    cached: bool = False
+    #: Label of the arbitration winner (multi-layout serving only).
+    winner: Optional[str] = None
+
+
+class QueryLog:
+    """Bounded thread-safe ring of the most recent query records.
+
+    Implements the record-sink protocol (:meth:`observe`) the
+    pipeline's ``RecordStage`` calls, so a log can be passed directly
+    as ``record_sink=`` to any serving facade or pipeline factory.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: "deque[QueryRecord]" = deque(maxlen=capacity)
+        self._total = 0
+
+    # -- the RecordStage sink protocol ---------------------------------
+
+    def observe(self, ctx) -> None:
+        """Fold one finished :class:`~repro.exec.context.ExecContext`
+        into the ring (duck-typed so this module never imports
+        :mod:`repro.exec`)."""
+        query, stats = ctx.query, ctx.stats
+        if query is None or stats is None:
+            return
+        self.append(
+            QueryRecord(
+                sql=ctx.sql,
+                template=template_key(query),
+                filter_columns=tuple(
+                    sorted(query.predicate.referenced_columns())
+                ),
+                generation=ctx.generation,
+                blocks_considered=stats.blocks_considered,
+                blocks_scanned=stats.blocks_scanned,
+                tuples_scanned=stats.tuples_scanned,
+                bytes_read=stats.bytes_read,
+                rows_returned=stats.rows_returned,
+                cached=ctx.cached,
+                winner=ctx.winner,
+            )
+        )
+
+    def append(self, record: QueryRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._total += 1
+
+    # -- reading the window --------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Every record ever appended (ring overwrites don't subtract)."""
+        with self._lock:
+            return self._total
+
+    def window(self, n: Optional[int] = None) -> Tuple[QueryRecord, ...]:
+        """The ``n`` most recent records (default: the whole ring)."""
+        with self._lock:
+            records = tuple(self._records)
+        if n is not None and n < len(records):
+            records = records[-n:]
+        return records
+
+    def signature(self, n: Optional[int] = None) -> WorkloadSignature:
+        """The live mix over the most recent window, as a signature.
+
+        Goes through the same :meth:`WorkloadSignature.from_counts`
+        constructor as the build-time side (no re-planning needed —
+        the template/columns pair is everything ``from_queries`` would
+        derive), so the two histograms are comparable by construction.
+        """
+        counts: Dict[Tuple[str, Tuple[str, ...]], int] = Counter(
+            (r.template, r.filter_columns) for r in self.window(n)
+        )
+        return WorkloadSignature.from_counts(counts.items())
+
+    def statements(
+        self, n: Optional[int] = None
+    ) -> List[Tuple[str, int]]:
+        """Distinct SQL in the window with frequencies, most frequent
+        first — the re-optimizer's training workload."""
+        counts = Counter(r.sql for r in self.window(n))
+        return counts.most_common()
+
+    def blocks_scanned(self, n: Optional[int] = None) -> int:
+        """Total blocks scanned over the window (uncached arrivals
+        only — cached hits did no scan work)."""
+        return sum(
+            r.blocks_scanned for r in self.window(n) if not r.cached
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"QueryLog({len(self._records)}/{self.capacity} records, "
+                f"{self._total} total)"
+            )

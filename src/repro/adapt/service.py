@@ -1,0 +1,287 @@
+"""Adaptive serving: a :class:`LayoutService` that re-learns its layout.
+
+:class:`AdaptiveService` is the closed loop in one object.  It wraps
+the ordinary single-layout serving facade and wires the adapt control
+plane around it:
+
+* every served query is recorded into a :class:`~repro.adapt.log
+  .QueryLog` by the pipeline's tail stage;
+* a :class:`~repro.adapt.drift.DriftDetector` periodically compares
+  the live mix against the signature the active layout was built for;
+* on drift, a :class:`~repro.adapt.reoptimize.Reoptimizer` rebuilds a
+  candidate from the logged window in a **background thread**,
+  evaluates it offline on the same window (blocks-scanned cost model)
+  and — only if it wins by the policy margin — installs it through
+  ``db.swap_layout`` (new generation, result-cache purge);
+* the facade then **hot-swaps** its inner service onto the new
+  generation: new arrivals serve from the new layout, in-flight
+  queries finish on the old one (both generations hold identical
+  rows, so every result stays bit-identical; ``ServeResult.generation``
+  says which layout answered).
+
+Clients keep the familiar surface: ``execute_sql`` / ``submit_sql`` /
+``run_closed_loop`` / ``snapshot`` / ``report`` — plus the adaptation
+ledger (:meth:`adapt_snapshot`, :attr:`events`).  Construct through
+:meth:`repro.db.Database.auto_adapt`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..engine.profiles import SPARK_PARQUET, CostProfile
+from ..exec import ServeResult
+from ..serve import (
+    DEFAULT_CACHE_BUDGET,
+    AdaptSnapshot,
+    LayoutService,
+    ReplayableService,
+    ServingMetrics,
+)
+from ..serve.metrics import MetricsSnapshot
+from .drift import DriftDetector
+from .log import QueryLog
+from .reoptimize import AdaptPolicy, Reoptimizer
+from .signature import WorkloadSignature
+
+__all__ = ["AdaptiveService"]
+
+
+class _AdaptSink:
+    """Pipeline record sink: log the query, then poke the loop.
+
+    Deliberately tiny — it runs on serving worker threads, so it must
+    never block (the reoptimizer's ``poke`` only bumps a counter and,
+    every ``check_every`` arrivals, folds the window histogram; the
+    rebuild itself always runs on its own thread).
+    """
+
+    def __init__(self, log: QueryLog, reoptimizer: Reoptimizer) -> None:
+        self.log = log
+        self.reoptimizer = reoptimizer
+
+    def observe(self, ctx) -> None:
+        self.log.observe(ctx)
+        self.reoptimizer.poke()
+
+
+class AdaptiveService(ReplayableService):
+    """Single-layout serving with online workload-drift adaptation.
+
+    Parameters
+    ----------
+    db:
+        The owning :class:`repro.db.Database`; must hold a logical
+        table (rebuilds need the rows) and an active layout.
+    policy:
+        The :class:`~repro.adapt.reoptimize.AdaptPolicy` loop knobs.
+    profile / cache_budget_bytes / max_workers / queue_depth /
+    admission:
+        Forwarded to each inner :class:`LayoutService` (including the
+        ones created by hot swaps).
+    result_cache:
+        The generation-keyed result cache the inner services consult;
+        defaults to the database's shared cache (which the swap purges
+        per the generation lifecycle).  ``None`` disables result
+        caching (e.g. for uncached benchmarking).
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        db,
+        policy: Optional[AdaptPolicy] = None,
+        profile: CostProfile = SPARK_PARQUET,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers: int = 4,
+        queue_depth: int = 64,
+        admission: str = "lru",
+        result_cache: object = _UNSET,
+    ) -> None:
+        active = db.active_layout
+        if active is None:
+            raise ValueError(
+                "no layout yet: call build_layout() before auto_adapt()"
+            )
+        self.db = db
+        self.policy = policy or AdaptPolicy()
+        self._profile = profile
+        self._cache_budget = cache_budget_bytes
+        self._max_workers = max_workers
+        self._queue_depth = queue_depth
+        self._admission = admission
+        self._result_cache = (
+            db.result_cache if result_cache is self._UNSET else result_cache
+        )
+        #: One collector across hot swaps: the observation window is
+        #: the service's, not any single generation's.
+        self.metrics = ServingMetrics()
+        self.log = QueryLog(self.policy.log_capacity)
+        baseline = active.workload_signature or WorkloadSignature()
+        self.detector = DriftDetector(
+            baseline,
+            window=self.policy.window,
+            threshold=self.policy.threshold,
+            min_records=self.policy.min_records,
+        )
+        self.reoptimizer = Reoptimizer(
+            db,
+            self.log,
+            self.detector,
+            self.policy,
+            on_swap=self._install,
+        )
+        self._sink = _AdaptSink(self.log, self.reoptimizer)
+        self._swap_lock = threading.Lock()
+        self._service = self._make_service(active)
+
+    # -- generation hot-swap -------------------------------------------
+
+    def _make_service(self, handle) -> LayoutService:
+        return LayoutService(
+            handle.store,
+            handle.tree,
+            profile=self._profile,
+            num_advanced_cuts=handle.num_advanced_cuts,
+            cache_budget_bytes=self._cache_budget,
+            max_workers=self._max_workers,
+            queue_depth=self._queue_depth,
+            planner=self.db.planner,
+            result_cache=self._result_cache,
+            generation=handle.generation,
+            metrics=self.metrics,
+            record_sink=self._sink,
+            admission=self._admission,
+        )
+
+    def _install(self, handle) -> None:
+        """Hot-swap serving onto a freshly installed generation
+        (called on the rebuild thread).  New arrivals see the new
+        inner service immediately; the old scheduler drains its
+        in-flight queries before shutting down, and those late results
+        are still correct — their generation's store holds the same
+        rows, it just skips fewer blocks."""
+        new = self._make_service(handle)
+        with self._swap_lock:
+            old, self._service = self._service, new
+        old.close()
+        # db.swap_layout purged the database's shared cache; a private
+        # cache is ours to keep hygienic, or each swap would strand
+        # the prior generation's entries as unreachable garbage.
+        rc = self._result_cache
+        if rc is not None and rc is not self.db.result_cache:
+            rc.retain(handle.generation)
+
+    @property
+    def service(self) -> LayoutService:
+        """The current inner service (changes across hot swaps)."""
+        with self._swap_lock:
+            return self._service
+
+    @property
+    def generation(self) -> int:
+        """Generation currently being served."""
+        return self.service.generation
+
+    # -- the client surface --------------------------------------------
+
+    def execute_sql(self, sql: str) -> ServeResult:
+        """Serve one statement synchronously on the caller's thread."""
+        return self.service.pipeline.execute(sql, time.perf_counter())
+
+    def submit_sql(
+        self, sql: str, block: bool = True, timeout: Optional[float] = None
+    ):
+        """Admit one statement; returns its future.  Retries once if a
+        hot swap closed the scheduler between the reference read and
+        the submit (the new service accepts the work)."""
+        for attempt in (0, 1):
+            service = self.service
+            try:
+                return service.submit_sql(sql, block=block, timeout=timeout)
+            except RuntimeError:
+                # Scheduler shut down mid-swap; re-read and retry once.
+                if attempt or service is self.service:
+                    raise
+        raise AssertionError("unreachable")
+
+    def collect_row_ids(self, sql: str):
+        return self.service.collect_row_ids(sql)
+
+    # -- observability & lifecycle -------------------------------------
+
+    def adapt_snapshot(self) -> AdaptSnapshot:
+        r = self.reoptimizer.stats()
+        return AdaptSnapshot(
+            drift_score=self.detector.last_score,
+            swaps=r.swaps,
+            rebuilds=r.rebuilds,
+            rejected=r.rejected,
+            log_records=len(self.log),
+        )
+
+    @property
+    def events(self):
+        """Completed rebuild decisions, oldest first."""
+        return self.reoptimizer.stats().events
+
+    def _cache_stats(self):
+        return self.service._cache_stats()
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot(
+            self._cache_stats(), adapt=self.adapt_snapshot()
+        )
+
+    def _window_snapshot(self, cache_before) -> MetricsSnapshot:
+        now = self._cache_stats()
+        if now is None:
+            cache = None
+        elif cache_before is None:
+            cache = now
+        else:
+            cache = now.since(cache_before)
+            if cache.hits < 0 or cache.misses < 0:
+                # A hot swap replaced the buffer pool mid-window:
+                # `cache_before` belongs to the retired cache, so the
+                # delta is meaningless.  The new pool's lifetime stats
+                # ARE the window since the swap — report those.
+                cache = now
+        return self.metrics.snapshot(cache, adapt=self.adapt_snapshot())
+
+    def report(self) -> str:
+        """Operator-facing report: serving window + adaptation ledger."""
+        lines = [self.snapshot().report()]
+        handle = self.db.active_layout
+        lines.append(
+            f"serving generation {self.generation} "
+            f"({handle.strategy if handle else '?'}, "
+            f"{self.service.store.num_blocks} blocks)"
+        )
+        for event in self.events:
+            lines.append(
+                f"  [{event.kind}] drift {event.drift_score:.3f}: "
+                f"window blocks {event.incumbent_blocks} -> "
+                f"{event.candidate_blocks} "
+                f"({100 * event.improvement:+.1f}% improvement, "
+                f"{event.strategy}, gen {event.generation})"
+            )
+        return "\n".join(lines)
+
+    def join_adaptation(self, timeout: Optional[float] = None) -> None:
+        """Wait for an in-flight background rebuild (tests, shutdown)."""
+        self.reoptimizer.join(timeout)
+
+    def close(self) -> None:
+        self.reoptimizer.close()
+        self.service.close()
+
+    def __repr__(self) -> str:
+        r = self.reoptimizer.stats()
+        return (
+            f"AdaptiveService(gen={self.generation}, "
+            f"drift={self.detector.last_score:.3f}, swaps={r.swaps})"
+        )

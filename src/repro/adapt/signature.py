@@ -1,0 +1,184 @@
+"""Workload signatures: what a query mix *looks like*, comparably.
+
+A layout is only as good as the workload it was built for (the paper
+trains the qd-tree on ``W`` and assumes queries keep resembling it).
+To notice when that assumption breaks, both the build-time workload
+and the live query stream are summarized into a
+:class:`WorkloadSignature` — a pair of normalized histograms:
+
+* ``templates`` — mass per *template key*, a canonical description of
+  a query's filter shape (which columns, which operators).  Queries
+  planned from SQL usually carry no explicit template name, so the key
+  is derived from the predicate itself (:func:`template_key`), which
+  makes two streams comparable even when neither was labelled.
+* ``columns`` — mass per filter column (each query spreads its unit
+  of mass evenly over the columns its predicate references).
+
+Signatures are plain value objects: JSON-round-trippable (they are
+persisted into layout metadata via the catalog, so a reopened database
+still knows what its layout was built for) and comparable through
+:func:`divergence` — a total-variation distance in ``[0, 1]`` where
+``0`` means identical mixes and ``1`` means disjoint ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.predicates import AdvancedCut, ColumnPredicate
+from ..core.workload import Query
+
+__all__ = [
+    "WorkloadSignature",
+    "divergence",
+    "template_key",
+]
+
+
+def template_key(query: Query) -> str:
+    """A canonical name for a query's filter *shape*.
+
+    Always derived from the predicate leaves — the sorted, deduped set
+    of ``column op`` (and advanced-cut names) — so e.g. every instance
+    of ``x >= ? AND x < ?`` maps to ``"x < & x >="`` regardless of its
+    literals.  The query's *declared* ``template`` label is
+    deliberately ignored: build workloads are often labelled
+    (``repro.workloads`` generators set ``template=``) while live
+    SQL-planned traffic never is, and keying the two sides differently
+    would make identical statements look permanently divergent.
+    Literals are excluded too: drift in *where the constants land*
+    shows up in the realized-cost posteriors, while drift in *which
+    columns are filtered* is what the template histogram is for.
+    """
+    parts = set()
+    for leaf in query.predicate.leaves():
+        if isinstance(leaf, ColumnPredicate):
+            parts.add(f"{leaf.column} {leaf.op.value}")
+        elif isinstance(leaf, AdvancedCut):
+            parts.add(f"AC[{leaf.name}]")
+        else:
+            parts.add(repr(leaf))
+    return " & ".join(sorted(parts)) if parts else "TRUE"
+
+
+def _normalize(weights: Dict[str, float]) -> Dict[str, float]:
+    total = sum(weights.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in sorted(weights.items())}
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Normalized template/filter-column histograms of a query mix."""
+
+    templates: Mapping[str, float] = field(default_factory=dict)
+    columns: Mapping[str, float] = field(default_factory=dict)
+    #: How many queries the signature summarizes (0 = empty signature).
+    weight: int = 0
+
+    @classmethod
+    def from_counts(
+        cls,
+        weighted_shapes: Iterable[Tuple[Tuple[str, Tuple[str, ...]], int]],
+    ) -> "WorkloadSignature":
+        """The one histogram constructor: ``((template key, filter
+        columns), count)`` pairs in, normalized signature out.  Both
+        the build-time path (:meth:`from_queries`) and the live path
+        (:meth:`repro.adapt.log.QueryLog.signature`) delegate here, so
+        the mass-spreading and normalization rules cannot drift apart
+        — a skew between the two sides would silently bias every
+        drift score."""
+        templates: Dict[str, float] = {}
+        columns: Dict[str, float] = {}
+        total = 0
+        for (template, cols), n in weighted_shapes:
+            n = int(n)
+            if n <= 0:
+                continue
+            total += n
+            templates[template] = templates.get(template, 0.0) + n
+            if cols:
+                share = n / len(cols)
+                for col in cols:
+                    columns[col] = columns.get(col, 0.0) + share
+        return cls(
+            templates=_normalize(templates),
+            columns=_normalize(columns),
+            weight=total,
+        )
+
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Iterable[Query],
+        counts: Optional[Sequence[int]] = None,
+    ) -> "WorkloadSignature":
+        """Summarize planned queries (optionally frequency-weighted)."""
+        return cls.from_counts(
+            (
+                (
+                    template_key(query),
+                    tuple(sorted(query.predicate.referenced_columns())),
+                ),
+                int(counts[i]) if counts is not None else 1,
+            )
+            for i, query in enumerate(queries)
+        )
+
+    @property
+    def empty(self) -> bool:
+        return self.weight == 0
+
+    # -- persistence (layout-meta JSON) --------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "templates": dict(self.templates),
+            "columns": dict(self.columns),
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "WorkloadSignature":
+        return cls(
+            templates={
+                str(k): float(v)
+                for k, v in dict(data.get("templates", {})).items()
+            },
+            columns={
+                str(k): float(v)
+                for k, v in dict(data.get("columns", {})).items()
+            },
+            weight=int(data.get("weight", 0)),
+        )
+
+    def __repr__(self) -> str:
+        top = sorted(self.templates.items(), key=lambda kv: -kv[1])[:3]
+        shown = ", ".join(f"{k}: {v:.2f}" for k, v in top)
+        return f"WorkloadSignature(weight={self.weight}, top=[{shown}])"
+
+
+def _total_variation(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def divergence(a: WorkloadSignature, b: WorkloadSignature) -> float:
+    """Distance between two workload mixes in ``[0, 1]``.
+
+    The max of the total-variation distances over the template and
+    filter-column histograms: a shift in *either* view counts (two
+    mixes can share columns but split into different templates, or
+    vice versa).  Comparing against an empty signature scores ``0`` —
+    no evidence is not evidence of drift.
+    """
+    if a.empty or b.empty:
+        return 0.0
+    return max(
+        _total_variation(a.templates, b.templates),
+        _total_variation(a.columns, b.columns),
+    )

@@ -26,7 +26,15 @@ Subcommands
     the scatter-gather :class:`ShardedLayoutService` (``--partition
     rr|subtree`` picks the shard assignment).  ``--compare`` also runs
     the serial uncached baseline — and, when sharded, the 1-shard
-    service — and prints the QPS speedups.
+    service — and prints the QPS speedups.  ``--adapt`` serves through
+    the drift-adaptive :class:`AdaptiveService` instead (needs a
+    layout saved with ``build --include-table``); ``--admission lfu``
+    puts the frequency gate in front of the buffer pool.
+``adapt-report``
+    Replay a workload — optionally followed by a *drifted* second
+    workload (``--drift-queries``) — through the adaptive serving
+    tier and pretty-print the adaptation ledger: drift score, rebuild
+    and swap counts, and per-event window costs.
 
 Example::
 
@@ -54,6 +62,7 @@ import warnings
 from pathlib import Path
 from typing import List, Optional
 
+from .adapt import AdaptPolicy
 from .db import Database, get_strategy, strategy_names
 from .serve import ResultCache, run_serial_baseline
 from .storage.catalog import load_table
@@ -137,7 +146,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"best sample scan ratio {result.best_scan_ratio:.4f}"
         )
     out = Path(args.out)
-    db.save(out)
+    db.save(out, include_table=args.include_table)
     print(
         f"wrote {handle.store.num_blocks} blocks to {out}/ "
         f"({handle.strategy}, generation {handle.generation})"
@@ -231,6 +240,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return replay, service.report()
 
     def serve(shards: int):
+        if args.adapt:
+            if shards > 1:
+                raise ValueError(
+                    "--adapt serves a single adaptive service; "
+                    "drop --shards"
+                )
+            return db.auto_adapt(
+                cache_budget_bytes=cache_bytes,
+                max_workers=args.threads,
+                queue_depth=args.queue_depth,
+                admission=args.admission,
+                result_cache=(
+                    ResultCache() if use_result_cache else False
+                ),
+            )
         # Comparison runs get a private result cache so one replay
         # cannot pre-warm another's results.
         return db.serve(
@@ -240,6 +264,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             max_workers=args.threads,
             queue_depth=args.queue_depth,
             result_cache=ResultCache() if use_result_cache else False,
+            admission=args.admission,
         )
 
     with serve(args.shards) as service:
@@ -273,6 +298,54 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adapt_report(args: argparse.Namespace) -> int:
+    db = Database.open(Path(args.layout))
+    handle = db.active_layout
+    assert handle is not None
+    if args.queries:
+        statements = _read_queries(Path(args.queries))
+    else:
+        statements = list(handle.statements)
+        if not statements:
+            raise ValueError(
+                "layout metadata has no build workload; pass --queries"
+            )
+    drifted = (
+        _read_queries(Path(args.drift_queries))
+        if args.drift_queries
+        else []
+    )
+    policy = AdaptPolicy(
+        window=args.window,
+        threshold=args.threshold,
+        min_records=min(args.window, max(8, args.window // 4)),
+        check_every=max(1, args.window // 8),
+        min_improvement=args.min_improvement,
+        strategy=args.strategy,
+    )
+    with db.auto_adapt(
+        policy=policy,
+        max_workers=args.threads,
+    ) as service:
+        first = service.run_closed_loop(statements, repeat=args.repeat)
+        print(
+            f"replayed {first.completed} baseline queries on "
+            f"generation {service.generation} "
+            f"(drift {service.detector.last_score:.3f})"
+        )
+        if drifted:
+            second = service.run_closed_loop(drifted, repeat=args.repeat)
+            service.join_adaptation()
+            print(
+                f"replayed {second.completed} drifted queries "
+                f"-> drift {service.detector.last_score:.3f}, "
+                f"now serving generation {service.generation}"
+            )
+        print()
+        print(service.report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -294,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
                               + " (--method is a deprecated alias and "
                                 "emits a DeprecationWarning)")
     p_build.add_argument("--min-block-size", type=int, default=1000)
+    p_build.add_argument("--include-table", action="store_true",
+                         help="also persist the logical table so the "
+                              "reopened layout can ingest and "
+                              "auto-adapt (adapt-report, "
+                              "serve-bench --adapt)")
     p_build.add_argument("--episodes", type=int, default=100,
                          help="woodblock: training episodes")
     p_build.add_argument("--hidden-dim", type=int, default=128,
@@ -343,7 +421,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--compare", action="store_true",
                          help="also run the serial uncached baseline "
                               "and print the speedup")
+    p_serve.add_argument("--adapt", action="store_true",
+                         help="serve through the drift-adaptive "
+                              "AdaptiveService (layout must be saved "
+                              "with build --include-table)")
+    p_serve.add_argument("--admission", choices=("lru", "lfu"),
+                         default="lru",
+                         help="buffer-pool admission policy "
+                              "(lfu = tiny-LFU frequency gate)")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_adapt = sub.add_parser(
+        "adapt-report",
+        help="replay a (drifting) workload adaptively and print the "
+             "drift/swap/arbiter ledger",
+    )
+    p_adapt.add_argument("--layout", required=True,
+                         help="layout directory saved with "
+                              "build --include-table")
+    p_adapt.add_argument("--queries",
+                         help="baseline SQL file (default: the "
+                              "layout's build workload)")
+    p_adapt.add_argument("--drift-queries",
+                         help="SQL file replayed after the baseline "
+                              "to exercise the drift loop")
+    p_adapt.add_argument("--repeat", type=int, default=10)
+    p_adapt.add_argument("--threads", type=int, default=4)
+    p_adapt.add_argument("--window", type=int, default=128,
+                         help="drift window (records)")
+    p_adapt.add_argument("--threshold", type=float, default=0.3,
+                         help="drift score arming a rebuild")
+    p_adapt.add_argument("--min-improvement", type=float, default=0.1,
+                         help="window blocks-scanned margin a "
+                              "candidate must win by")
+    p_adapt.add_argument("--strategy", default="greedy",
+                         help="rebuild strategy (any registered name)")
+    p_adapt.set_defaults(func=_cmd_adapt_report)
     return parser
 
 

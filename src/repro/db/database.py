@@ -60,7 +60,12 @@ from ..serve import (
 )
 from ..sql.planner import SqlPlanner
 from ..storage.blocks import Block, BlockStore
+from ..adapt.arbiter import LearnedArbiter
+from ..adapt.reoptimize import AdaptPolicy
+from ..adapt.service import AdaptiveService
+from ..adapt.signature import WorkloadSignature
 from ..storage.catalog import (
+    SIGNATURE_KEY,
     layout_tree_path,
     load_layout_meta,
     load_store,
@@ -100,6 +105,10 @@ class LayoutHandle:
     statements: Tuple[str, ...] = ()
     diagnostics: Optional[object] = None
     label: str = ""
+    #: Normalized template/filter-column histogram of the build
+    #: workload (``None`` for workload-oblivious layouts) — the drift
+    #: detector's baseline, persisted through the catalog.
+    workload_signature: Optional[WorkloadSignature] = None
     # Lazily-built library-path execution helpers (one engine/router/
     # pipeline per handle; serving facades build their own).
     _engine: Optional[ScanEngine] = field(
@@ -209,10 +218,16 @@ class Database:
         statements = tuple(meta.get("queries") or ())
         registry: Optional[CutRegistry] = None
         num_advanced = 0
+        signature: Optional[WorkloadSignature] = None
         if statements:
             workload = planner.plan_workload(list(statements))
             registry = planner.candidate_cuts(workload)
             num_advanced = registry.num_advanced_cuts
+            # Fallback baseline for layouts saved before signatures
+            # were persisted: recompute from the build statements.
+            signature = WorkloadSignature.from_queries(workload)
+        if meta.get(SIGNATURE_KEY):
+            signature = WorkloadSignature.from_json(meta[SIGNATURE_KEY])
         tree: Optional[QdTree] = None
         tree_path = layout_tree_path(path)
         if tree_path.exists():
@@ -238,6 +253,7 @@ class Database:
             num_advanced_cuts=num_advanced,
             statements=statements,
             label=str(meta.get("label", strategy)),
+            workload_signature=signature,
         )
         db._generation = generation
         db._layouts.append(handle)
@@ -269,20 +285,20 @@ class Database:
         save_store(handle.store, path)
         if handle.tree is not None:
             handle.tree.save(str(layout_tree_path(path)))
-        save_layout_meta(
-            path,
-            {
-                # "method" kept alongside "strategy" so pre-facade
-                # readers of layout-meta.json keep working.
-                "method": handle.strategy,
-                "strategy": handle.strategy,
-                "generation": handle.generation,
-                "label": handle.label or handle.strategy,
-                "min_block_size": self.min_block_size,
-                "num_blocks": handle.store.num_blocks,
-                "queries": list(handle.statements),
-            },
-        )
+        meta: Dict[str, object] = {
+            # "method" kept alongside "strategy" so pre-facade
+            # readers of layout-meta.json keep working.
+            "method": handle.strategy,
+            "strategy": handle.strategy,
+            "generation": handle.generation,
+            "label": handle.label or handle.strategy,
+            "min_block_size": self.min_block_size,
+            "num_blocks": handle.store.num_blocks,
+            "queries": list(handle.statements),
+        }
+        if handle.workload_signature is not None:
+            meta[SIGNATURE_KEY] = handle.workload_signature.to_json()
+        save_layout_meta(path, meta)
         if include_table:
             if self.table is None:
                 raise ValueError("no logical table to persist")
@@ -409,8 +425,14 @@ class Database:
             statements=statements,
             diagnostics=built.diagnostics,
             label=label or strategy,
+            workload_signature=(
+                WorkloadSignature.from_queries(planned)
+                if planned is not None
+                else None
+            ),
         )
-        self._layouts.append(handle)
+        with self._lock:
+            self._layouts.append(handle)
         if activate:
             self.swap_layout(handle)
         return handle
@@ -422,11 +444,26 @@ class Database:
         every other generation — lookups are generation-keyed anyway,
         so this is memory hygiene, and together they guarantee a swap
         can never surface a stale result.
+
+        Thread-safety (the adapt loop swaps from a background thread
+        while queries are in flight): the lifecycle mutation and the
+        purge happen under the database lock, and the lock ordering is
+        strictly ``Database._lock`` → ``ResultCache._lock`` — the hot
+        query path takes only the cache lock, so the two can never
+        deadlock.  A query racing the swap on the *old* generation may
+        re-publish an old-generation cache entry after the purge;
+        that entry is unreachable from the new generation's lookups
+        (keys carry the generation) and still bit-correct if that
+        generation is ever swapped back in (generations name immutable
+        stores), so a stale result remains structurally impossible —
+        ``tests/test_db_differential.py`` races swaps against hot
+        queries to prove it.
         """
-        if handle not in self._layouts:
-            raise ValueError("unknown layout handle (not built here)")
-        self._active = handle
-        self.result_cache.retain(handle.generation)
+        with self._lock:
+            if handle not in self._layouts:
+                raise ValueError("unknown layout handle (not built here)")
+            self._active = handle
+            self.result_cache.retain(handle.generation)
         return handle
 
     def drop_layout(self, handle: LayoutHandle) -> None:
@@ -438,14 +475,19 @@ class Database:
         forever.  Dropping the active layout is refused (swap first);
         the handle's cached result-cache entries, if any, are purged.
         """
-        if handle is self._active:
-            raise ValueError("cannot drop the active layout; swap first")
-        try:
-            self._layouts.remove(handle)
-        except ValueError:
-            raise ValueError("unknown layout handle (not built here)") from None
-        if self._active is not None:
-            self.result_cache.retain(self._active.generation)
+        with self._lock:
+            if handle is self._active:
+                raise ValueError(
+                    "cannot drop the active layout; swap first"
+                )
+            try:
+                self._layouts.remove(handle)
+            except ValueError:
+                raise ValueError(
+                    "unknown layout handle (not built here)"
+                ) from None
+            if self._active is not None:
+                self.result_cache.retain(self._active.generation)
 
     def ingest(
         self, batch: Table, segment_rows: Optional[int] = None
@@ -518,8 +560,10 @@ class Database:
             num_advanced_cuts=active.num_advanced_cuts,
             statements=active.statements,
             label=active.label,
+            workload_signature=active.workload_signature,
         )
-        self._layouts.append(handle)
+        with self._lock:
+            self._layouts.append(handle)
         self.swap_layout(handle)
         return handle
 
@@ -590,6 +634,8 @@ class Database:
         max_workers: int = 4,
         queue_depth: int = 64,
         result_cache: Union[bool, ResultCache] = True,
+        admission: str = "lru",
+        record_sink: Optional[object] = None,
         **kwargs,
     ):
         """Stand up the serving tier over a layout (default: active).
@@ -601,8 +647,11 @@ class Database:
         generation-keyed result cache, stamped with the layout's
         generation (pass a :class:`ResultCache` instance instead of
         ``True`` to give the service a private cache, e.g. for
-        like-for-like benchmark comparisons).  Close the service when
-        done (both are context managers).
+        like-for-like benchmark comparisons).  ``admission`` picks the
+        buffer-pool admission policy (``"lru"`` or ``"lfu"``) and
+        ``record_sink`` (e.g. a :class:`~repro.adapt.log.QueryLog`)
+        observes every served query.  Close the service when done
+        (both are context managers).
         """
         handle = self._resolve(layout)
         rc = self._resolve_result_cache(result_cache)
@@ -620,6 +669,8 @@ class Database:
                 planner=self.planner,
                 result_cache=rc,
                 generation=handle.generation,
+                admission=admission,
+                record_sink=record_sink,
                 **kwargs,
             )
         if kwargs:
@@ -641,6 +692,8 @@ class Database:
             planner=self.planner,
             result_cache=rc,
             generation=handle.generation,
+            admission=admission,
+            record_sink=record_sink,
         )
 
     def serve_multi(
@@ -651,6 +704,8 @@ class Database:
         max_workers: int = 4,
         queue_depth: int = 64,
         result_cache: Union[bool, ResultCache] = True,
+        arbiter: Union[str, object] = "static",
+        record_sink: Optional[object] = None,
     ) -> MultiLayoutService:
         """Serve the table under several layouts, cheapest layout wins.
 
@@ -668,17 +723,24 @@ class Database:
         with the database by default, same semantics as
         :meth:`serve`) keys entries on the winning layout's
         generation.  Close the service when done (context manager).
+
+        ``arbiter`` selects the arbitration policy: ``"static"`` (the
+        lexicographic argmin), ``"learned"`` (a fresh ε-greedy
+        :class:`~repro.adapt.arbiter.LearnedArbiter` folding realized
+        costs back into the decision), or a policy instance of your
+        own.  ``record_sink`` (e.g. a
+        :class:`~repro.adapt.log.QueryLog`) observes every served
+        query.
         """
-        current_rows = (
-            self._active.store.logical_rows if self._active else None
-        )
+        with self._lock:
+            known = list(self._layouts)
+            active = self._active
+        current_rows = active.store.logical_rows if active else None
         if layouts is not None:
             handles = list(layouts)
         else:
             handles = [
-                h
-                for h in self._layouts
-                if h.store.logical_rows == current_rows
+                h for h in known if h.store.logical_rows == current_rows
             ]
         if not handles:
             raise ValueError(
@@ -686,7 +748,7 @@ class Database:
                 "(or pass layouts=[...])"
             )
         for handle in handles:
-            if handle not in self._layouts:
+            if handle not in known:
                 raise ValueError("unknown layout handle (not built here)")
         row_counts = {h.store.logical_rows for h in handles}
         if len(row_counts) > 1:
@@ -697,6 +759,12 @@ class Database:
                 "stale layouts on the current table first"
             )
         rc = self._resolve_result_cache(result_cache)
+        if arbiter == "static":
+            policy = None
+        elif arbiter == "learned":
+            policy = LearnedArbiter()
+        else:
+            policy = arbiter  # a caller-supplied policy instance
         return MultiLayoutService(
             handles,
             profile=profile,
@@ -705,6 +773,46 @@ class Database:
             queue_depth=queue_depth,
             planner=self.planner,
             result_cache=rc,
+            arbiter_policy=policy,
+            record_sink=record_sink,
+        )
+
+    def auto_adapt(
+        self,
+        policy: Optional[AdaptPolicy] = None,
+        profile: CostProfile = SPARK_PARQUET,
+        cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET,
+        max_workers: int = 4,
+        queue_depth: int = 64,
+        admission: str = "lru",
+        result_cache: Union[bool, ResultCache] = True,
+    ) -> AdaptiveService:
+        """Serve the active layout with online drift adaptation.
+
+        Returns an :class:`~repro.adapt.service.AdaptiveService`: a
+        :class:`LayoutService` front whose query stream feeds a
+        :class:`~repro.adapt.log.QueryLog`; when the live mix diverges
+        from the layout's build-time workload signature past
+        ``policy.threshold``, a candidate layout is rebuilt from the
+        logged window in a background thread, evaluated offline on the
+        blocks-scanned cost model, and — if it wins by
+        ``policy.min_improvement`` — installed through
+        :meth:`swap_layout` (new generation, cache purge) with the
+        serving path hot-swapped onto it.  Results stay bit-identical
+        throughout; only the work to produce them shrinks.
+        ``result_cache`` has :meth:`serve` semantics (``True`` = the
+        database's shared cache, ``False`` = uncached, an instance =
+        private).  Close the service when done (context manager).
+        """
+        return AdaptiveService(
+            self,
+            policy=policy,
+            profile=profile,
+            cache_budget_bytes=cache_budget_bytes,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            admission=admission,
+            result_cache=self._resolve_result_cache(result_cache),
         )
 
     def __repr__(self) -> str:

@@ -43,6 +43,7 @@ from .stages import (
     MergeStage,
     PlanStage,
     PruneStage,
+    RecordStage,
     ResultCacheStage,
     RouteStage,
     ScanStage,
@@ -61,6 +62,7 @@ __all__ = [
     "PlanStage",
     "PruneStage",
     "QueryPipeline",
+    "RecordStage",
     "ResultCache",
     "ResultCacheStage",
     "ResultCacheStats",

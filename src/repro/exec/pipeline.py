@@ -30,6 +30,7 @@ from .stages import (
     MergeStage,
     PlanStage,
     PruneStage,
+    RecordStage,
     ResultCacheStage,
     RouteStage,
     ScanStage,
@@ -65,6 +66,9 @@ class ServeResult:
     winner: Optional[str] = None
     #: Per-stage wall seconds for this execution.
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: Generation of the layout that answered this query — what makes
+    #: a result attributable under concurrent swaps and adaptation.
+    generation: int = 0
 
 
 class QueryPipeline:
@@ -139,6 +143,7 @@ class QueryPipeline:
             cached=ctx.cached,
             winner=ctx.winner,
             stage_seconds=dict(ctx.timings),
+            generation=ctx.generation,
         )
 
     def prepare(self, sql: str) -> ExecContext:
@@ -185,11 +190,24 @@ class QueryPipeline:
 # ----------------------------------------------------------------------
 
 
+def _with_record(stages: list, record_sink: Optional[object]) -> list:
+    """Append the observability tail stage when a sink was asked for.
+
+    Every factory funnels through here so all four execution paths
+    (serial, single-layout, sharded, multi-layout) populate the same
+    query-log shape — the adapt control plane's one observation point.
+    """
+    if record_sink is not None:
+        stages.append(RecordStage(record_sink))
+    return stages
+
+
 def serial_pipeline(
     planner: SqlPlanner,
     engine: ScanEngine,
     router: Optional[QueryRouter],
     store: BlockStore,
+    record_sink: Optional[object] = None,
 ) -> QueryPipeline:
     """The pre-serving baseline: no memo, no cache, no metrics —
     every arrival plans (memoized planner), routes, prunes and scans
@@ -201,6 +219,7 @@ def serial_pipeline(
         store=store,
         result_cache=None,
         memoize=False,
+        record_sink=record_sink,
     )
 
 
@@ -213,6 +232,7 @@ def single_layout_pipeline(
     generation: int = 0,
     metrics: Optional[object] = None,
     memoize: bool = True,
+    record_sink: Optional[object] = None,
 ) -> QueryPipeline:
     """One engine over one layout: ``Database.execute`` (cache, no
     metrics) and :class:`~repro.serve.service.LayoutService` (cache +
@@ -225,7 +245,9 @@ def single_layout_pipeline(
         ScanStage(engine),
         MergeStage(engine.profile, store.schema),
     ]
-    return QueryPipeline(planner, stages, metrics=metrics)
+    return QueryPipeline(
+        planner, _with_record(stages, record_sink), metrics=metrics
+    )
 
 
 def sharded_pipeline(
@@ -237,6 +259,7 @@ def sharded_pipeline(
     result_cache: Optional[ResultCache] = None,
     generation: int = 0,
     metrics: Optional[object] = None,
+    record_sink: Optional[object] = None,
 ) -> QueryPipeline:
     """The scatter-gather coordinator: routing and pruning happen once
     at the coordinator (per-shard survivor lists), the scan stage fans
@@ -250,7 +273,9 @@ def sharded_pipeline(
         ScatterScanStage(shards),
         MergeStage(profile, store.schema),
     ]
-    return QueryPipeline(planner, stages, metrics=metrics)
+    return QueryPipeline(
+        planner, _with_record(stages, record_sink), metrics=metrics
+    )
 
 
 def multi_layout_pipeline(
@@ -259,16 +284,22 @@ def multi_layout_pipeline(
     profile: CostProfile,
     result_cache: Optional[ResultCache] = None,
     metrics: Optional[object] = None,
+    arbiter_policy: Optional[object] = None,
+    record_sink: Optional[object] = None,
 ) -> QueryPipeline:
     """Cost-arbitrated serving over several layouts of one table: the
     arbitration stage routes + prunes against every layout and binds
-    the cheapest (blocks-surviving × bytes-scanned argmin); the result
-    cache keys on the winner's generation."""
+    the cheapest — by the static (blocks-surviving, bytes-scanned)
+    argmin, or by ``arbiter_policy`` (e.g. the learned bandit in
+    :mod:`repro.adapt.arbiter`) when one is given; the result cache
+    keys on the winner's generation."""
     stages = [
         PlanStage(planner),
-        ArbitrateStage(bindings),
+        ArbitrateStage(bindings, policy=arbiter_policy),
         ResultCacheStage(result_cache, generation=None, profile=profile),
         ScanStage(engine=None),
         MergeStage(profile, bindings[0].store.schema),
     ]
-    return QueryPipeline(planner, stages, metrics=metrics)
+    return QueryPipeline(
+        planner, _with_record(stages, record_sink), metrics=metrics
+    )

@@ -14,6 +14,9 @@ Stage                Responsibility
 :class:`PruneStage`  per-block min-max (SMA) intersection -> survivors
 :class:`ScanStage`   scan the survivors on one engine
 :class:`MergeStage`  fold scatter-gather parts into one result
+:class:`RecordStage` feed the finished execution to a query-log sink
+                     (optional tail stage; the adapt control plane's
+                     observation point)
 ===================  ====================================================
 
 Two substitutions cover the wider topologies: the sharded coordinator
@@ -56,6 +59,7 @@ __all__ = [
     "MergeStage",
     "PlanStage",
     "PruneStage",
+    "RecordStage",
     "ResultCacheStage",
     "RouteStage",
     "ScanStage",
@@ -193,10 +197,13 @@ class ResultCacheStage(Stage):
         return self.generation if self.generation is not None else ctx.generation
 
     def run(self, ctx: ExecContext) -> None:
-        if self.cache is None:
-            return
+        # Stamp the answering generation even when caching is off:
+        # ServeResult.generation and the record sink rely on it to
+        # attribute every result, cached or not.
         gen = self._generation(ctx)
         ctx.generation = gen
+        if self.cache is None:
+            return
         hit = self.cache.get(ctx.query, gen, self.profile)
         if hit is not None:
             ctx.stats = hit.stats
@@ -435,6 +442,33 @@ class MergeStage(Stage):
         )
 
 
+class RecordStage(Stage):
+    """Feed the finished execution to an observability sink.
+
+    The sink is duck-typed — anything with ``observe(ctx)`` qualifies
+    (in practice :class:`repro.adapt.log.QueryLog` or the learned
+    arbiter's posterior updater) so :mod:`repro.exec` never imports
+    the control plane it feeds.  The stage sits at the tail of every
+    pipeline configuration that asked for one: by the time it runs,
+    ``ctx.stats`` exists whether the result came from the cache, a
+    single-engine scan, or the scatter-gather merge.  Sink failures
+    must never fail the query — observation is strictly best-effort.
+    """
+
+    name = "record"
+
+    def __init__(self, sink: object) -> None:
+        self.sink = sink
+
+    def run(self, ctx: ExecContext) -> None:
+        if ctx.stats is None:
+            return
+        try:
+            self.sink.observe(ctx)
+        except Exception:  # pragma: no cover - defensive: sinks are
+            pass  # observability, not execution
+
+
 # ----------------------------------------------------------------------
 # Multi-layout arbitration
 # ----------------------------------------------------------------------
@@ -459,11 +493,23 @@ class ArbitrateStage(Stage):
     layout's qd-tree (when it has one) and SMA-pruned against every
     layout's blocks; each layout is scored with the min-max stats as
     priors: **(blocks surviving, estimated bytes the filter columns
-    occupy across those blocks)**, compared lexicographically.  The
-    argmin layout wins, is bound to the context, and its generation
-    keys the result cache downstream — so multi-layout serving reuses
-    the exact cache semantics of single-layout serving.  Ties go to
-    the earliest layout in the candidate list (deterministic).
+    occupy across those blocks)**.  That per-layout work is
+    deterministic for a fixed set of layouts, so it is memoized per
+    predicate; the *decision* on top of it is pluggable:
+
+    * without a ``policy`` (the default), scores are compared
+      lexicographically and the argmin layout wins — ties go to the
+      earliest layout in the candidate list (deterministic);
+    * with a ``policy`` (duck-typed: ``choose(query, bindings,
+      scores) -> index``, e.g.
+      :class:`repro.adapt.arbiter.LearnedArbiter`), the decision is
+      re-evaluated on every arrival so a learning policy can fold
+      realized costs back into arbitration while the routed/pruned
+      entries stay memoized.
+
+    The winning layout is bound to the context and its generation keys
+    the result cache downstream — so multi-layout serving reuses the
+    exact cache semantics of single-layout serving.
     """
 
     name = "route"
@@ -472,18 +518,40 @@ class ArbitrateStage(Stage):
         self,
         bindings: Sequence[LayoutBinding],
         memo: Optional[RouteMemo] = None,
+        policy: Optional[object] = None,
     ) -> None:
         if not bindings:
             raise ValueError("ArbitrateStage needs at least one layout")
         self.bindings = tuple(bindings)
         self.memo = memo if memo is not None else RouteMemo()
+        self.policy = policy
         self._lock = threading.Lock()
 
     def choice_for(self, query: Query) -> ArbiterChoice:
-        """The (memoized) arbitration decision for a query — the
-        public explain path facades read scores from."""
-        return self.memo.get_or_compute(
-            query.predicate, lambda: self._arbitrate(query)
+        """The arbitration decision for a query — the public explain
+        path facades read scores from.  Per-layout entries come from
+        the memo; the winning index is re-chosen per call when a
+        learning policy is attached."""
+        entries = self.memo.get_or_compute(
+            query.predicate, lambda: self._score(query)
+        )
+        scores = tuple(entry[3] for entry in entries)
+        if self.policy is not None:
+            index = int(self.policy.choose(query, self.bindings, scores))
+            if not 0 <= index < len(entries):
+                raise ValueError(
+                    f"arbiter policy chose layout {index} out of "
+                    f"{len(entries)} candidates"
+                )
+        else:
+            index = min(range(len(entries)), key=lambda i: scores[i])
+        routed, considered, survivors, _ = entries[index]
+        return ArbiterChoice(
+            index=index,
+            routed=routed,
+            considered=considered,
+            survivors=survivors,
+            scores=scores,
         )
 
     def run(self, ctx: ExecContext) -> None:
@@ -496,7 +564,9 @@ class ArbitrateStage(Stage):
         ctx.considered = choice.considered
         ctx.survivors = choice.survivors
 
-    def _arbitrate(self, query: Query) -> ArbiterChoice:
+    def _score(self, query: Query) -> Tuple[tuple, ...]:
+        """Route + prune + score the query against every layout (the
+        deterministic, memoizable part of arbitration)."""
         filter_columns = sorted(query.predicate.referenced_columns())
         entries = []
         for binding in self.bindings:
@@ -508,14 +578,7 @@ class ArbitrateStage(Stage):
                 binding.store.block(bid).decoded_nbytes(filter_columns)
                 for bid in survivors
             )
-            entries.append((routed, considered, survivors, (len(survivors), bytes_est)))
-        scores = tuple(entry[3] for entry in entries)
-        index = min(range(len(entries)), key=lambda i: scores[i])
-        routed, considered, survivors, _ = entries[index]
-        return ArbiterChoice(
-            index=index,
-            routed=routed,
-            considered=considered,
-            survivors=survivors,
-            scores=scores,
-        )
+            entries.append(
+                (routed, considered, survivors, (len(survivors), bytes_est))
+            )
+        return tuple(entries)

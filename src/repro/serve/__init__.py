@@ -34,7 +34,7 @@ The cache's byte-bounded row-id store makes repeated
 """
 
 from .cache import BlockCache, CacheStats
-from .metrics import MetricsSnapshot, ServingMetrics
+from .metrics import AdaptSnapshot, MetricsSnapshot, ServingMetrics
 from .multi import MultiLayoutService
 from .result_cache import CachedResult, ResultCache, ResultCacheStats
 from .scheduler import AdmissionRejected, Scheduler, SchedulerStats
@@ -50,6 +50,7 @@ from .service import (
 from .shard import ShardSnapshot, ShardedLayoutService
 
 __all__ = [
+    "AdaptSnapshot",
     "AdmissionRejected",
     "BlockCache",
     "DEFAULT_CACHE_BUDGET",

@@ -11,6 +11,16 @@ The cache is a :data:`~repro.engine.executor.ColumnReader`: plug it
 into :class:`~repro.engine.executor.ScanEngine` via ``column_reader=
 cache.read_columns`` and cached and uncached execution share one scan
 code path.
+
+``admission="lfu"`` puts a tiny-LFU-style frequency gate in front of
+the LRU: every (block, column) access bumps a decayed frequency
+counter, and an insert that would evict may only proceed if the
+newcomer has been touched at least as often as the LRU victim it
+displaces.  One-shot scans of cold blocks then flow *through* the
+cache without flushing the hot working set — the classic
+scan-resistance failure of plain LRU.  Admission only decides what is
+*kept*, never what is *returned*, so results are bit-identical under
+either policy.
 """
 
 from __future__ import annotations
@@ -41,6 +51,8 @@ class CacheStats:
     decoded_bytes: int
     #: Bytes served straight from the pool (decode work avoided).
     served_bytes: int
+    #: Inserts the LFU admission gate turned away (0 under plain LRU).
+    admission_rejections: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,6 +72,7 @@ class CacheStats:
             budget_bytes=sum(p.budget_bytes for p in parts),
             decoded_bytes=sum(p.decoded_bytes for p in parts),
             served_bytes=sum(p.served_bytes for p in parts),
+            admission_rejections=sum(p.admission_rejections for p in parts),
         )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
@@ -76,7 +89,17 @@ class CacheStats:
             budget_bytes=self.budget_bytes,
             decoded_bytes=self.decoded_bytes - earlier.decoded_bytes,
             served_bytes=self.served_bytes - earlier.served_bytes,
+            admission_rejections=(
+                self.admission_rejections - earlier.admission_rejections
+            ),
         )
+
+
+#: Frequency counters are capped here (a key can't hoard history) and
+#: halved once this many accesses have been sampled (old popularity
+#: decays, so the gate tracks the *current* working set).
+_FREQ_CAP = 15
+_FREQ_SAMPLE_LIMIT = 32_768
 
 
 class BlockCache:
@@ -88,12 +111,23 @@ class BlockCache:
         Maximum decoded bytes held at once.  Inserting past the budget
         evicts least-recently-used entries; a single column larger than
         the whole budget is served decode-through (never cached).
+    admission:
+        ``"lru"`` (default) admits every insert; ``"lfu"`` adds the
+        tiny-LFU frequency gate described in the module docstring —
+        an insert may only displace the LRU victim if the newcomer has
+        been accessed at least as often.  Either way, returned arrays
+        are identical; only retention differs.
     """
 
-    def __init__(self, budget_bytes: int) -> None:
+    def __init__(self, budget_bytes: int, admission: str = "lru") -> None:
         if budget_bytes < 0:
             raise ValueError("budget_bytes must be >= 0")
+        if admission not in ("lru", "lfu"):
+            raise ValueError(
+                f"admission must be 'lru' or 'lfu', got {admission!r}"
+            )
         self.budget_bytes = budget_bytes
+        self.admission = admission
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[int, str], np.ndarray]" = OrderedDict()
         self._cached_bytes = 0
@@ -102,6 +136,10 @@ class BlockCache:
         self._evictions = 0
         self._decoded_bytes = 0
         self._served_bytes = 0
+        self._admission_rejections = 0
+        #: Decayed access-frequency sketch (LFU admission only).
+        self._freq: Dict[Tuple[int, str], int] = {}
+        self._freq_samples = 0
 
     # ------------------------------------------------------------------
     # The ColumnReader hook
@@ -128,6 +166,8 @@ class BlockCache:
         with self._lock:
             for name in names:
                 key = (block.block_id, name)
+                if self.admission == "lfu":
+                    self._touch(key)
                 arr = self._entries.get(key)
                 if arr is not None:
                     self._entries.move_to_end(key)
@@ -155,13 +195,42 @@ class BlockCache:
 
     # ------------------------------------------------------------------
 
+    def _touch(self, key: Tuple[int, str]) -> None:
+        """Bump the decayed access-frequency counter (held lock)."""
+        self._freq[key] = min(self._freq.get(key, 0) + 1, _FREQ_CAP)
+        self._freq_samples += 1
+        if self._freq_samples >= _FREQ_SAMPLE_LIMIT:
+            # Halve every counter (dropping zeros) so popularity decays
+            # and the sketch cannot grow without bound.
+            self._freq = {
+                k: v // 2 for k, v in self._freq.items() if v >= 2
+            }
+            self._freq_samples = 0
+
     def _insert(self, key: Tuple[int, str], arr: np.ndarray) -> None:
-        """Insert under the held lock, evicting LRU entries to fit."""
+        """Insert under the held lock, evicting LRU entries to fit.
+
+        Under LFU admission, each needed eviction is gated: the
+        newcomer must have been accessed at least as often as the LRU
+        victim it would displace, otherwise the insert is rejected and
+        the resident working set survives (the newcomer was served
+        decode-through either way).
+        """
         if arr.nbytes > self.budget_bytes:
             return  # decode-through: can never fit
         existing = self._entries.pop(key, None)
         if existing is not None:
             self._cached_bytes -= existing.nbytes
+        if self.admission == "lfu":
+            freq_new = self._freq.get(key, 0)
+            while self._cached_bytes + arr.nbytes > self.budget_bytes:
+                victim = next(iter(self._entries))
+                if self._freq.get(victim, 0) > freq_new:
+                    self._admission_rejections += 1
+                    return
+                _, evicted = self._entries.popitem(last=False)
+                self._cached_bytes -= evicted.nbytes
+                self._evictions += 1
         self._entries[key] = arr
         self._cached_bytes += arr.nbytes
         while self._cached_bytes > self.budget_bytes:
@@ -193,6 +262,7 @@ class BlockCache:
                 budget_bytes=self.budget_bytes,
                 decoded_bytes=self._decoded_bytes,
                 served_bytes=self._served_bytes,
+                admission_rejections=self._admission_rejections,
             )
 
     def __len__(self) -> int:

@@ -21,7 +21,52 @@ import numpy as np
 from ..engine.executor import QueryStats
 from .cache import CacheStats
 
-__all__ = ["MetricsSnapshot", "ServingMetrics"]
+__all__ = ["AdaptSnapshot", "MetricsSnapshot", "ServingMetrics"]
+
+
+@dataclass(frozen=True)
+class AdaptSnapshot:
+    """Adaptation-loop observability attached to a metrics snapshot.
+
+    Filled by the :mod:`repro.adapt` control plane (the serving tier
+    itself never computes these): the current drift score, the
+    rebuild/swap ledger, and — under learned multi-layout arbitration
+    — the bandit's win/regret counters (``arbiter`` is duck-typed to
+    :class:`repro.adapt.arbiter.ArbiterStats` so this module stays
+    independent of the control plane).
+    """
+
+    #: Divergence between the build-time and live workload mixes.
+    drift_score: float = 0.0
+    #: Background rebuilds installed via generation swap.
+    swaps: int = 0
+    #: Rebuilds attempted (swaps + rejected + in flight).
+    rebuilds: int = 0
+    #: Candidates built but discarded (insufficient improvement).
+    rejected: int = 0
+    #: Records currently in the query-log ring.
+    log_records: int = 0
+    #: Learned-arbiter counters, when one is attached.
+    arbiter: Optional[object] = None
+
+    def report_lines(self) -> Tuple[str, ...]:
+        lines = [
+            f"drift score        {self.drift_score:.3f}",
+            (
+                f"adaptation         {self.swaps} swaps / "
+                f"{self.rebuilds} rebuilds / {self.rejected} rejected "
+                f"({self.log_records} log records)"
+            ),
+        ]
+        if self.arbiter is not None:
+            a = self.arbiter
+            lines.append(
+                f"learned arbiter    {a.decisions} decisions / "
+                f"{100 * a.agreement_rate:.1f}% agree with prior / "
+                f"{a.explored} explored / regret {a.regret_bytes} bytes "
+                f"({a.arms_learned} arms)"
+            )
+        return tuple(lines)
 
 
 @dataclass(frozen=True)
@@ -49,6 +94,8 @@ class MetricsSnapshot:
     #: Multi-layout arbitration: (layout label, queries won) pairs,
     #: most wins first; empty outside multi-layout serving.
     layout_wins: Tuple[Tuple[str, int], ...] = ()
+    #: Adaptation-loop counters (``None`` outside adaptive serving).
+    adapt: Optional[AdaptSnapshot] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -96,6 +143,8 @@ class MetricsSnapshot:
         if self.layout_wins:
             won = ", ".join(f"{label}: {n}" for label, n in self.layout_wins)
             lines.append(f"layout wins        {won}")
+        if self.adapt is not None:
+            lines.extend(self.adapt.report_lines())
         return "\n".join(lines)
 
 
@@ -175,9 +224,14 @@ class ServingMetrics:
             self._window_start = time.perf_counter()
             self._last_record = self._window_start
 
-    def snapshot(self, cache: Optional[CacheStats] = None) -> MetricsSnapshot:
-        """Freeze the current window (optionally attaching cache
-        accounting so one report covers the whole serving stack)."""
+    def snapshot(
+        self,
+        cache: Optional[CacheStats] = None,
+        adapt: Optional[AdaptSnapshot] = None,
+    ) -> MetricsSnapshot:
+        """Freeze the current window (optionally attaching cache and
+        adaptation accounting so one report covers the whole serving
+        stack)."""
         with self._lock:
             wins = tuple(
                 sorted(self._wins.items(), key=lambda kv: (-kv[1], kv[0]))
@@ -199,6 +253,7 @@ class ServingMetrics:
                     bytes_read=0,
                     cache=cache,
                     layout_wins=wins,
+                    adapt=adapt,
                 )
             lat_ms = np.asarray(self._latencies, dtype=np.float64) * 1000.0
             window = max(self._last_record - self._window_start, 0.0)
@@ -220,4 +275,5 @@ class ServingMetrics:
                 bytes_read=self._bytes_read,
                 cache=cache,
                 layout_wins=wins,
+                adapt=adapt,
             )

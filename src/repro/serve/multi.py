@@ -31,12 +31,33 @@ from ..engine.profiles import SPARK_PARQUET, CostProfile
 from ..exec import LayoutBinding, ServeResult, multi_layout_pipeline
 from ..sql.planner import SqlPlanner
 from .cache import BlockCache, CacheStats
-from .metrics import ServingMetrics
+from .metrics import AdaptSnapshot, MetricsSnapshot, ServingMetrics
 from .result_cache import ResultCache
 from .scheduler import Scheduler
 from .service import DEFAULT_CACHE_BUDGET, ReplayableService
 
 __all__ = ["MultiLayoutService"]
+
+
+class _SinkChain:
+    """Fan one pipeline record out to several observers, in order."""
+
+    def __init__(self, sinks) -> None:
+        self.sinks = tuple(sinks)
+
+    def observe(self, ctx) -> None:
+        for sink in self.sinks:
+            sink.observe(ctx)
+
+
+def _chain_sinks(*sinks):
+    """Collapse optional sinks into one (``None`` when all absent)."""
+    present = [s for s in sinks if s is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return _SinkChain(present)
 
 
 def _bindings_for(
@@ -120,6 +141,16 @@ class MultiLayoutService(ReplayableService):
         Optional generation-keyed result cache; entries key on the
         *winning* layout's generation, so the cache is exactly as
         stale-proof as single-layout serving.
+    arbiter_policy:
+        Optional pluggable arbitration policy (duck-typed
+        ``choose(query, bindings, scores) -> index``, e.g.
+        :class:`repro.adapt.arbiter.LearnedArbiter`); the static
+        lexicographic argmin when ``None``.  A policy that also
+        implements ``observe(ctx)`` is automatically wired as a
+        record sink so realized costs feed its posteriors.
+    record_sink:
+        Optional query-log sink at the pipeline tail (chained after
+        the policy's own observer when both are present).
     """
 
     def __init__(
@@ -131,6 +162,8 @@ class MultiLayoutService(ReplayableService):
         queue_depth: int = 64,
         planner: Optional[SqlPlanner] = None,
         result_cache: Optional[ResultCache] = None,
+        arbiter_policy: Optional[object] = None,
+        record_sink: Optional[object] = None,
     ) -> None:
         layouts = list(layouts)
         if not layouts:
@@ -144,12 +177,20 @@ class MultiLayoutService(ReplayableService):
         self.metrics = ServingMetrics()
         self.scheduler = Scheduler(max_workers=max_workers, queue_depth=queue_depth)
         self.result_cache = result_cache
+        self.arbiter_policy = arbiter_policy
         self.pipeline = multi_layout_pipeline(
             planner=self.planner,
             bindings=self.bindings,
             profile=profile,
             result_cache=result_cache,
             metrics=self.metrics,
+            arbiter_policy=arbiter_policy,
+            record_sink=_chain_sinks(
+                arbiter_policy
+                if hasattr(arbiter_policy, "observe")
+                else None,
+                record_sink,
+            ),
         )
         self._arbiter = self.pipeline.stage("route")
 
@@ -200,6 +241,15 @@ class MultiLayoutService(ReplayableService):
     def _cache_stats(self) -> Optional[CacheStats]:
         parts = [c.stats() for c in self._block_caches if c is not None]
         return CacheStats.merged(parts) if parts else None
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Current-window metrics; under a learning policy the
+        arbiter's win/regret counters ride along in ``adapt``."""
+        adapt = None
+        policy = self.arbiter_policy
+        if policy is not None and hasattr(policy, "stats"):
+            adapt = AdaptSnapshot(arbiter=policy.stats())
+        return self.metrics.snapshot(self._cache_stats(), adapt=adapt)
 
     def report(self) -> str:
         """Operator-facing text report for the current window."""

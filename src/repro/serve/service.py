@@ -69,6 +69,7 @@ def run_serial_baseline(
     planner: Optional[SqlPlanner] = None,
     num_advanced_cuts: int = 0,
     profile: CostProfile = SPARK_PARQUET,
+    record_sink: Optional[object] = None,
 ) -> Tuple[float, Tuple[QueryStats, ...]]:
     """The pre-serving execution path, for speedup comparisons.
 
@@ -78,12 +79,16 @@ def run_serial_baseline(
     routes, SMA-prunes and scans from scratch, one at a time — exactly
     what executing the workload cost before :class:`LayoutService`
     existed.  Returns ``(sustained QPS, per-query stats)``.
+    ``record_sink`` (e.g. a :class:`repro.adapt.log.QueryLog`) observes
+    every execution, same as on the serving paths.
     """
     engine = ScanEngine(store, profile, num_advanced_cuts=num_advanced_cuts)
     if planner is None:
         planner = SqlPlanner(store.schema)
     router = QueryRouter(tree) if tree is not None else None
-    pipeline = serial_pipeline(planner, engine, router, store)
+    pipeline = serial_pipeline(
+        planner, engine, router, store, record_sink=record_sink
+    )
     for sql in statements:
         planner.plan(sql)
     t0 = time.perf_counter()
@@ -276,6 +281,17 @@ class LayoutService(ReplayableService):
         scanning; entries are keyed under ``generation`` so a database
         that swaps or re-ingests layouts can never serve a stale
         result through a cache shared across generations.
+    metrics:
+        Optional pre-existing :class:`ServingMetrics` collector.  The
+        adaptive facade passes one shared collector so the observation
+        window survives generation hot-swaps of the inner service.
+    record_sink:
+        Optional query-log sink (``observe(ctx)``, e.g. a
+        :class:`repro.adapt.log.QueryLog`) appended as the pipeline's
+        tail stage.
+    admission:
+        Buffer-pool admission policy, ``"lru"`` or ``"lfu"`` (see
+        :class:`~repro.serve.cache.BlockCache`).
     """
 
     def __init__(
@@ -290,11 +306,16 @@ class LayoutService(ReplayableService):
         planner: Optional[SqlPlanner] = None,
         result_cache: Optional[ResultCache] = None,
         generation: int = 0,
+        metrics: Optional[ServingMetrics] = None,
+        record_sink: Optional[object] = None,
+        admission: str = "lru",
     ) -> None:
         self.store = store
         self.planner = planner if planner is not None else SqlPlanner(store.schema)
         self.cache: Optional[BlockCache] = (
-            BlockCache(cache_budget_bytes) if cache_budget_bytes else None
+            BlockCache(cache_budget_bytes, admission=admission)
+            if cache_budget_bytes
+            else None
         )
         self.engine = ScanEngine(
             store,
@@ -309,7 +330,7 @@ class LayoutService(ReplayableService):
             if tree is not None
             else None
         )
-        self.metrics = ServingMetrics()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
         self.scheduler = Scheduler(max_workers=max_workers, queue_depth=queue_depth)
         self.result_cache = result_cache
         self.generation = generation
@@ -321,6 +342,7 @@ class LayoutService(ReplayableService):
             result_cache=result_cache,
             generation=generation,
             metrics=self.metrics,
+            record_sink=record_sink,
         )
         # Kept for observability (report()) — the memo itself belongs
         # to the pipeline's route stage.

@@ -117,6 +117,10 @@ class ShardedLayoutService(ReplayableService):
         :class:`~repro.serve.result_cache.ResultCache`, consulted at
         the coordinator: a hit skips the whole scatter — no shard sees
         the query at all (same semantics as :class:`LayoutService`).
+    record_sink / admission:
+        Query-log sink appended at the coordinator pipeline's tail
+        (shards never double-record) and the per-shard buffer-pool
+        admission policy — same semantics as :class:`LayoutService`.
     """
 
     def __init__(
@@ -134,6 +138,8 @@ class ShardedLayoutService(ReplayableService):
         planner: Optional[SqlPlanner] = None,
         result_cache: Optional[ResultCache] = None,
         generation: int = 0,
+        record_sink: Optional[object] = None,
+        admission: str = "lru",
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -173,6 +179,7 @@ class ShardedLayoutService(ReplayableService):
                 max_workers=max_workers_per_shard,
                 queue_depth=queue_depth,
                 planner=self.planner,
+                admission=admission,
             )
             for sub in shard_stores
         )
@@ -201,6 +208,7 @@ class ShardedLayoutService(ReplayableService):
             result_cache=result_cache,
             generation=generation,
             metrics=self.metrics,
+            record_sink=record_sink,
         )
         self._route_memo: RouteMemo = self.pipeline.stage("route").memo
         self._scatter = self.pipeline.stage("scan")

@@ -22,6 +22,7 @@ from .table import Table
 
 __all__ = [
     "META_FILE",
+    "SIGNATURE_KEY",
     "TREE_FILE",
     "layout_meta_path",
     "layout_tree_path",
@@ -44,6 +45,12 @@ _TABLE_NAME = "table.npz"
 #: ``META_FILE`` (strategy, generation and build workload).
 TREE_FILE = "qdtree.json"
 META_FILE = "layout-meta.json"
+
+#: Key under which ``META_FILE`` carries the build-time workload
+#: signature (:class:`repro.adapt.signature.WorkloadSignature` JSON).
+#: Persisting it is what lets a reopened database's drift detector
+#: know what mix the layout was built for.
+SIGNATURE_KEY = "workload_signature"
 
 
 def layout_tree_path(path: Union[str, Path]) -> Path:

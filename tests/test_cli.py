@@ -344,3 +344,94 @@ class TestServeBench:
         out = capsys.readouterr().out
         assert "cache hit rate" not in out
         assert "rejected" in out
+
+
+@pytest.fixture
+def adaptive_layout_dir(table_dir, queries_file, tmp_path, capsys):
+    """A layout saved with its logical table, so reopening it can
+    rebuild (the adapt loop's requirement)."""
+    out = tmp_path / "layout-adapt"
+    code = main(
+        [
+            "build",
+            "--table", str(table_dir),
+            "--queries", str(queries_file),
+            "--out", str(out),
+            "--min-block-size", "200",
+            "--include-table",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    return out
+
+
+class TestAdaptCommands:
+    def test_build_include_table_persists_table(self, adaptive_layout_dir):
+        assert (adaptive_layout_dir / "table" / "table.npz").exists()
+        meta = json.loads(
+            (adaptive_layout_dir / "layout-meta.json").read_text()
+        )
+        assert "workload_signature" in meta
+
+    def test_serve_bench_adapt(self, adaptive_layout_dir, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(adaptive_layout_dir),
+                "--adapt",
+                "--admission", "lfu",
+                "--repeat", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift score" in out
+        assert "adaptation" in out
+
+    def test_serve_bench_adapt_rejects_shards(
+        self, adaptive_layout_dir, capsys
+    ):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(adaptive_layout_dir),
+                "--adapt",
+                "--shards", "2",
+            ]
+        )
+        assert code == 2
+        assert "--adapt" in capsys.readouterr().err
+
+    def test_adapt_report_with_drift(
+        self, adaptive_layout_dir, tmp_path, capsys
+    ):
+        drift = tmp_path / "drift.sql"
+        drift.write_text(
+            "\n".join(
+                f"SELECT y FROM t WHERE y >= {lo:.2f} AND y < {lo + 0.05:.2f}"
+                for lo in (0.05, 0.20, 0.35, 0.50, 0.65, 0.80)
+            )
+        )
+        code = main(
+            [
+                "adapt-report",
+                "--layout", str(adaptive_layout_dir),
+                "--drift-queries", str(drift),
+                "--repeat", "12",
+                "--window", "48",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline queries" in out
+        assert "drifted queries" in out
+        assert "drift score" in out
+        assert "adaptation" in out
+
+    def test_adapt_report_without_table_fails_helpfully(
+        self, layout_dir, capsys
+    ):
+        code = main(["adapt-report", "--layout", str(layout_dir)])
+        assert code == 2
+        assert "logical table" in capsys.readouterr().err

@@ -88,6 +88,18 @@ def test_multi_layout_serving_example_small(capsys):
     assert "winner" in out
 
 
+def test_adaptive_serving_example_small(capsys):
+    run_example(
+        "adaptive_serving.py",
+        ["--rows", "12000", "--repeat", "10"],
+    )
+    out = capsys.readouterr().out
+    assert "frozen layout" in out
+    assert "drift detected" in out
+    assert "adaptation event [swap]" in out
+    assert "avoided work" in out
+
+
 def test_quickstart_example_small(capsys):
     run_example(
         "quickstart.py",
