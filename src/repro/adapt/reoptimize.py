@@ -166,6 +166,11 @@ class Reoptimizer:
         installed :class:`~repro.db.LayoutHandle` after a successful
         swap — the adaptive service uses it to re-wire serving onto
         the new generation.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, every
+        drift check and rebuild decision records a control trace
+        (``drift_check`` / ``rebuild``).  ``None`` keeps the hot-path
+        ``poke`` untraced.
     """
 
     def __init__(
@@ -175,6 +180,7 @@ class Reoptimizer:
         detector: DriftDetector,
         policy: Optional[AdaptPolicy] = None,
         on_swap: Optional[Callable[[object], None]] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         if getattr(db, "table", None) is None:
             raise ValueError(
@@ -186,6 +192,7 @@ class Reoptimizer:
         self.detector = detector
         self.policy = policy or AdaptPolicy()
         self.on_swap = on_swap
+        self.tracer = tracer
         self._lock = threading.Lock()
         #: Serializes rebuild bodies: poke()'s is-alive guard is only
         #: a cheap fast path, and adapt_now() may race the background
@@ -222,7 +229,15 @@ class Reoptimizer:
             if self._thread is not None and self._thread.is_alive():
                 return False
             self._checks += 1
-        if not self.detector.drifted(self.log):
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.control_span("drift_check") as attrs:
+                drifted = self.detector.drifted(self.log)
+                attrs["drifted"] = drifted
+                attrs["score"] = self.detector.last_score
+        else:
+            drifted = self.detector.drifted(self.log)
+        if not drifted:
             return False
         with self._lock:
             if self._closed or (
@@ -263,7 +278,7 @@ class Reoptimizer:
     def _rebuild_and_decide(self) -> Optional[AdaptEvent]:
         with self._rebuild_mutex:
             try:
-                return self._rebuild_and_decide_inner()
+                return self._traced_rebuild()
             except Exception as exc:  # the loop must never kill serving
                 with self._lock:
                     self._last_error = f"{type(exc).__name__}: {exc}"
@@ -272,6 +287,27 @@ class Reoptimizer:
                         self._arrivals + self.policy.effective_cooldown
                     )
                 return None
+
+    def _traced_rebuild(self) -> Optional[AdaptEvent]:
+        """Run the rebuild body, recording a ``rebuild`` control trace
+        when a tracer is attached (attributes carry the decision)."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._rebuild_and_decide_inner()
+        with tracer.control_span("rebuild") as attrs:
+            event = self._rebuild_and_decide_inner()
+            if event is None:
+                attrs["kind"] = "empty_window"
+            else:
+                attrs.update(
+                    kind=event.kind,
+                    strategy=event.strategy,
+                    drift_score=event.drift_score,
+                    incumbent_blocks=event.incumbent_blocks,
+                    candidate_blocks=event.candidate_blocks,
+                    generation=event.generation,
+                )
+            return event
 
     def _rebuild_and_decide_inner(self) -> Optional[AdaptEvent]:
         drift_score = self.detector.last_score

@@ -86,6 +86,12 @@ class AdaptiveService(ReplayableService):
         defaults to the database's shared cache (which the swap purges
         per the generation lifecycle).  ``None`` disables result
         caching (e.g. for uncached benchmarking).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` shared by every
+        inner service across hot swaps AND the control plane — one
+        tracer sees query traces from every generation plus the
+        ``drift_check`` / ``rebuild`` / ``generation_swap`` control
+        traces, on one timeline.
     """
 
     _UNSET = object()
@@ -100,6 +106,7 @@ class AdaptiveService(ReplayableService):
         queue_depth: int = 64,
         admission: str = "lru",
         result_cache: object = _UNSET,
+        tracer: Optional[object] = None,
     ) -> None:
         active = db.active_layout
         if active is None:
@@ -116,6 +123,7 @@ class AdaptiveService(ReplayableService):
         self._result_cache = (
             db.result_cache if result_cache is self._UNSET else result_cache
         )
+        self.tracer = tracer
         #: One collector across hot swaps: the observation window is
         #: the service's, not any single generation's.
         self.metrics = ServingMetrics()
@@ -133,6 +141,7 @@ class AdaptiveService(ReplayableService):
             self.detector,
             self.policy,
             on_swap=self._install,
+            tracer=tracer,
         )
         self._sink = _AdaptSink(self.log, self.reoptimizer)
         self._swap_lock = threading.Lock()
@@ -155,6 +164,7 @@ class AdaptiveService(ReplayableService):
             metrics=self.metrics,
             record_sink=self._sink,
             admission=self._admission,
+            tracer=self.tracer,
         )
 
     def _install(self, handle) -> None:
@@ -164,6 +174,15 @@ class AdaptiveService(ReplayableService):
         in-flight queries before shutting down, and those late results
         are still correct — their generation's store holds the same
         rows, it just skips fewer blocks."""
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.control_span("generation_swap") as attrs:
+                attrs["generation"] = handle.generation
+                self._install_inner(handle)
+        else:
+            self._install_inner(handle)
+
+    def _install_inner(self, handle) -> None:
         new = self._make_service(handle)
         with self._swap_lock:
             old, self._service = self._service, new
@@ -251,6 +270,62 @@ class AdaptiveService(ReplayableService):
                 # ARE the window since the swap — report those.
                 cache = now
         return self.metrics.snapshot(cache, adapt=self.adapt_snapshot())
+
+    def publish_metrics(self, registry: object, **labels: object) -> None:
+        """Publish the shared serving collector plus adapt-loop
+        counters into a :class:`~repro.obs.registry.MetricsRegistry`.
+        The serving collector survives hot swaps, so the registry view
+        does too."""
+        self.metrics.publish(registry, **labels)
+
+        from ..obs.registry import Sample
+
+        def collect():
+            a = self.adapt_snapshot()
+            yield Sample.of(
+                "repro_adapt_drift_score",
+                a.drift_score,
+                labels,
+                "Live-vs-baseline workload divergence",
+                "gauge",
+            )
+            yield Sample.of(
+                "repro_adapt_swaps_total",
+                a.swaps,
+                labels,
+                "Generation hot-swaps installed",
+                "counter",
+            )
+            yield Sample.of(
+                "repro_adapt_rebuilds_total",
+                a.rebuilds,
+                labels,
+                "Background rebuilds attempted",
+                "counter",
+            )
+            yield Sample.of(
+                "repro_adapt_rejected_total",
+                a.rejected,
+                labels,
+                "Candidates built but discarded",
+                "counter",
+            )
+            yield Sample.of(
+                "repro_adapt_log_records",
+                a.log_records,
+                labels,
+                "Records in the query-log ring",
+                "gauge",
+            )
+            yield Sample.of(
+                "repro_adapt_generation",
+                self.generation,
+                labels,
+                "Generation currently serving",
+                "gauge",
+            )
+
+        registry.register_collector(collect, name="adapt")
 
     def report(self) -> str:
         """Operator-facing report: serving window + adaptation ledger."""

@@ -35,6 +35,16 @@ Subcommands
     workload (``--drift-queries``) — through the adaptive serving
     tier and pretty-print the adaptation ledger: drift score, rebuild
     and swap counts, and per-event window costs.
+``metrics-export``
+    Replay a workload and print the unified metrics-registry export
+    (Prometheus text exposition or JSON).
+
+``serve-bench`` and ``adapt-report`` also take ``--json`` (one JSON
+document on stdout, human report on stderr), ``--trace PREFIX``
+(per-query + control-plane traces as ``PREFIX.jsonl`` and the
+Perfetto-loadable ``PREFIX.trace.json``) and ``--emit-bench DIR
+--scenario S`` (schema-versioned ``BENCH_S.json`` trajectory file,
+validated by ``python -m repro.obs.bench``).
 
 Example::
 
@@ -64,6 +74,7 @@ from typing import List, Optional
 
 from .adapt import AdaptPolicy
 from .db import Database, get_strategy, strategy_names
+from .obs import MetricsRegistry, Tracer, bench_document, plain, write_bench
 from .serve import ResultCache, run_serial_baseline
 from .storage.catalog import load_table
 
@@ -117,6 +128,46 @@ def _strategy_options(args: argparse.Namespace) -> dict:
     if args.strategy == "random":
         return {"seed": args.seed}
     return {}
+
+
+def _replay_summary(replay) -> dict:
+    """Machine-readable replay outcome shared by --json and
+    --emit-bench across serve-bench and adapt-report."""
+    return {
+        "issued": replay.issued,
+        "completed": replay.completed,
+        "rejected": replay.rejected,
+        "wall_seconds": replay.wall_seconds,
+        "qps": replay.qps,
+    }
+
+
+def _statements_for(args: argparse.Namespace, handle) -> List[str]:
+    """The workload to replay: --queries file, else the layout's
+    build workload."""
+    if args.queries:
+        return _read_queries(Path(args.queries))
+    statements = list(handle.statements)
+    if not statements:
+        raise ValueError(
+            "layout metadata has no build workload; pass --queries"
+        )
+    return statements
+
+
+def _write_trace_exports(tracer: Tracer, prefix: str) -> dict:
+    """Write PREFIX.jsonl + PREFIX.trace.json; returns a summary."""
+    jsonl_path = f"{prefix}.jsonl"
+    chrome_path = f"{prefix}.trace.json"
+    traces = tracer.write_jsonl(jsonl_path)
+    events = tracer.write_chrome_trace(chrome_path)
+    return {
+        "traces": traces,
+        "events": events,
+        "dropped": tracer.dropped,
+        "jsonl": jsonl_path,
+        "chrome": chrome_path,
+    }
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -219,16 +270,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     db = Database.open(Path(args.layout))
     handle = db.active_layout
     assert handle is not None
-    if args.queries:
-        statements = _read_queries(Path(args.queries))
-    else:
-        statements = list(handle.statements)
-        if not statements:
-            raise ValueError(
-                "layout metadata has no build workload; pass --queries"
-            )
+    statements = _statements_for(args, handle)
     cache_bytes = None if args.no_cache else args.cache_mb * 1024 * 1024
     use_result_cache = not args.no_result_cache
+    tracer = Tracer() if args.trace else None
+    # With --json, stdout carries exactly one JSON document; everything
+    # human-facing moves to stderr.
+    info = sys.stderr if args.json else sys.stdout
 
     def replay_service(service):
         if args.mode == "open":
@@ -239,7 +287,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             replay = service.run_closed_loop(statements, repeat=args.repeat)
         return replay, service.report()
 
-    def serve(shards: int):
+    def serve(shards: int, traced: bool = True):
+        active_tracer = tracer if traced else None
         if args.adapt:
             if shards > 1:
                 raise ValueError(
@@ -254,6 +303,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 result_cache=(
                     ResultCache() if use_result_cache else False
                 ),
+                tracer=active_tracer,
             )
         # Comparison runs get a private result cache so one replay
         # cannot pre-warm another's results.
@@ -265,6 +315,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             result_cache=ResultCache() if use_result_cache else False,
             admission=args.admission,
+            tracer=active_tracer,
         )
 
     with serve(args.shards) as service:
@@ -272,18 +323,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(
         f"replayed {replay.completed}/{replay.issued} queries "
         f"({replay.rejected} rejected) in {replay.wall_seconds:.3f} s "
-        f"-> {replay.qps:.1f} qps"
+        f"-> {replay.qps:.1f} qps",
+        file=info,
     )
-    print(report)
+    print(report, file=info)
+    compare: dict = {}
     if args.compare:
         if args.shards > 1:
-            with serve(1) as single:
+            with serve(1, traced=False) as single:
                 one_shard, _ = replay_service(single)
             ratio = (
                 replay.qps / one_shard.qps if one_shard.qps > 0 else float("inf")
             )
-            print(f"\n1-shard service: {one_shard.qps:.1f} qps")
-            print(f"sharded ({args.shards} shards) speedup: {ratio:.2f}x")
+            compare["one_shard_qps"] = one_shard.qps
+            compare["shard_speedup"] = ratio
+            print(f"\n1-shard service: {one_shard.qps:.1f} qps", file=info)
+            print(
+                f"sharded ({args.shards} shards) speedup: {ratio:.2f}x",
+                file=info,
+            )
         base_qps, _ = run_serial_baseline(
             handle.store,
             handle.tree,
@@ -293,8 +351,45 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             num_advanced_cuts=handle.num_advanced_cuts,
         )
         speedup = replay.qps / base_qps if base_qps > 0 else float("inf")
-        print(f"\nserial uncached baseline: {base_qps:.1f} qps")
-        print(f"serving speedup: {speedup:.2f}x")
+        compare["serial_qps"] = base_qps
+        compare["serving_speedup"] = speedup
+        print(f"\nserial uncached baseline: {base_qps:.1f} qps", file=info)
+        print(f"serving speedup: {speedup:.2f}x", file=info)
+    trace_summary = None
+    if tracer is not None:
+        trace_summary = _write_trace_exports(tracer, args.trace)
+        print(
+            f"wrote {trace_summary['traces']} traces to "
+            f"{trace_summary['jsonl']} and {trace_summary['events']} "
+            f"events to {trace_summary['chrome']} (Perfetto-loadable)",
+            file=info,
+        )
+    extra = {"shards": args.shards, "mode": args.mode}
+    if compare:
+        extra["compare"] = compare
+    if trace_summary is not None:
+        extra["trace"] = trace_summary
+    if args.emit_bench:
+        doc = bench_document(
+            scenario=args.scenario,
+            source="serve-bench",
+            snapshot=replay.snapshot,
+            replay=_replay_summary(replay),
+            extra=extra,
+        )
+        path = write_bench(args.emit_bench, doc)
+        print(f"wrote trajectory file {path}", file=info)
+    if args.json:
+        import json as _json
+
+        document = {
+            "command": "serve-bench",
+            "scenario": args.scenario,
+            "replay": _replay_summary(replay),
+            "metrics": plain(replay.snapshot),
+            "extra": plain(extra),
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
     return 0
 
 
@@ -302,19 +397,14 @@ def _cmd_adapt_report(args: argparse.Namespace) -> int:
     db = Database.open(Path(args.layout))
     handle = db.active_layout
     assert handle is not None
-    if args.queries:
-        statements = _read_queries(Path(args.queries))
-    else:
-        statements = list(handle.statements)
-        if not statements:
-            raise ValueError(
-                "layout metadata has no build workload; pass --queries"
-            )
+    statements = _statements_for(args, handle)
     drifted = (
         _read_queries(Path(args.drift_queries))
         if args.drift_queries
         else []
     )
+    tracer = Tracer() if args.trace else None
+    info = sys.stderr if args.json else sys.stdout
     policy = AdaptPolicy(
         window=args.window,
         threshold=args.threshold,
@@ -323,15 +413,18 @@ def _cmd_adapt_report(args: argparse.Namespace) -> int:
         min_improvement=args.min_improvement,
         strategy=args.strategy,
     )
+    second = None
     with db.auto_adapt(
         policy=policy,
         max_workers=args.threads,
+        tracer=tracer,
     ) as service:
         first = service.run_closed_loop(statements, repeat=args.repeat)
         print(
             f"replayed {first.completed} baseline queries on "
             f"generation {service.generation} "
-            f"(drift {service.detector.last_score:.3f})"
+            f"(drift {service.detector.last_score:.3f})",
+            file=info,
         )
         if drifted:
             second = service.run_closed_loop(drifted, repeat=args.repeat)
@@ -339,10 +432,77 @@ def _cmd_adapt_report(args: argparse.Namespace) -> int:
             print(
                 f"replayed {second.completed} drifted queries "
                 f"-> drift {service.detector.last_score:.3f}, "
-                f"now serving generation {service.generation}"
+                f"now serving generation {service.generation}",
+                file=info,
             )
-        print()
-        print(service.report())
+        print(file=info)
+        print(service.report(), file=info)
+        final_snapshot = service.snapshot()
+        final_generation = service.generation
+        final_drift = service.detector.last_score
+    trace_summary = None
+    if tracer is not None:
+        trace_summary = _write_trace_exports(tracer, args.trace)
+        print(
+            f"wrote {trace_summary['traces']} traces to "
+            f"{trace_summary['jsonl']} and {trace_summary['events']} "
+            f"events to {trace_summary['chrome']} (Perfetto-loadable)",
+            file=info,
+        )
+    extra = {
+        "generation": final_generation,
+        "drift_score": final_drift,
+        "baseline": _replay_summary(first),
+    }
+    if second is not None:
+        extra["drifted"] = _replay_summary(second)
+    if trace_summary is not None:
+        extra["trace"] = trace_summary
+    if args.emit_bench:
+        doc = bench_document(
+            scenario=args.scenario,
+            source="adapt-report",
+            snapshot=final_snapshot,
+            replay=_replay_summary(second if second is not None else first),
+            extra=extra,
+        )
+        path = write_bench(args.emit_bench, doc)
+        print(f"wrote trajectory file {path}", file=info)
+    if args.json:
+        import json as _json
+
+        document = {
+            "command": "adapt-report",
+            "scenario": args.scenario,
+            "replay": _replay_summary(second if second is not None else first),
+            "metrics": plain(final_snapshot),
+            "extra": plain(extra),
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    """Replay a workload, publish every serving component into one
+    :class:`MetricsRegistry`, and print the export."""
+    db = Database.open(Path(args.layout))
+    handle = db.active_layout
+    assert handle is not None
+    statements = _statements_for(args, handle)
+    registry = MetricsRegistry()
+    with db.serve(
+        shards=args.shards,
+        max_workers=args.threads,
+        result_cache=ResultCache(),
+    ) as service:
+        service.run_closed_loop(statements, repeat=args.repeat)
+        service.publish_metrics(registry, service="cli")
+        if args.format == "prometheus":
+            print(registry.to_prometheus_text(), end="")
+        else:
+            import json as _json
+
+            print(_json.dumps(registry.to_json(), indent=2, sort_keys=True))
     return 0
 
 
@@ -429,6 +589,19 @@ def build_parser() -> argparse.ArgumentParser:
                          default="lru",
                          help="buffer-pool admission policy "
                               "(lfu = tiny-LFU frequency gate)")
+    p_serve.add_argument("--json", action="store_true",
+                         help="print one JSON document to stdout "
+                              "(human report moves to stderr)")
+    p_serve.add_argument("--trace", metavar="PREFIX",
+                         help="record per-query traces; writes "
+                              "PREFIX.jsonl and PREFIX.trace.json "
+                              "(Chrome trace-event / Perfetto format)")
+    p_serve.add_argument("--emit-bench", metavar="DIR",
+                         help="write a schema-versioned "
+                              "BENCH_<scenario>.json trajectory file "
+                              "under DIR")
+    p_serve.add_argument("--scenario", default="serve",
+                         help="scenario name for --emit-bench / --json")
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_adapt = sub.add_parser(
@@ -456,7 +629,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "candidate must win by")
     p_adapt.add_argument("--strategy", default="greedy",
                          help="rebuild strategy (any registered name)")
+    p_adapt.add_argument("--json", action="store_true",
+                         help="print one JSON document to stdout "
+                              "(human report moves to stderr)")
+    p_adapt.add_argument("--trace", metavar="PREFIX",
+                         help="record query + control-plane traces; "
+                              "writes PREFIX.jsonl and "
+                              "PREFIX.trace.json")
+    p_adapt.add_argument("--emit-bench", metavar="DIR",
+                         help="write BENCH_<scenario>.json under DIR")
+    p_adapt.add_argument("--scenario", default="adapt",
+                         help="scenario name for --emit-bench / --json")
     p_adapt.set_defaults(func=_cmd_adapt_report)
+
+    p_metrics = sub.add_parser(
+        "metrics-export",
+        help="replay a workload and print the unified metrics-registry "
+             "export (Prometheus text or JSON)",
+    )
+    p_metrics.add_argument("--layout", required=True)
+    p_metrics.add_argument("--queries",
+                           help="SQL file to replay (default: the "
+                                "layout's build workload)")
+    p_metrics.add_argument("--repeat", type=int, default=5)
+    p_metrics.add_argument("--threads", type=int, default=4)
+    p_metrics.add_argument("--shards", type=int, default=1)
+    p_metrics.add_argument("--format", choices=("prometheus", "json"),
+                           default="prometheus")
+    p_metrics.set_defaults(func=_cmd_metrics_export)
     return parser
 
 

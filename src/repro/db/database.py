@@ -636,6 +636,7 @@ class Database:
         result_cache: Union[bool, ResultCache] = True,
         admission: str = "lru",
         record_sink: Optional[object] = None,
+        tracer: Optional[object] = None,
         **kwargs,
     ):
         """Stand up the serving tier over a layout (default: active).
@@ -650,8 +651,10 @@ class Database:
         like-for-like benchmark comparisons).  ``admission`` picks the
         buffer-pool admission policy (``"lru"`` or ``"lfu"``) and
         ``record_sink`` (e.g. a :class:`~repro.adapt.log.QueryLog`)
-        observes every served query.  Close the service when done
-        (both are context managers).
+        observes every served query, and ``tracer`` (a
+        :class:`~repro.obs.trace.Tracer`) records one per-stage trace
+        per served query.  Close the service when done (both are
+        context managers).
         """
         handle = self._resolve(layout)
         rc = self._resolve_result_cache(result_cache)
@@ -671,6 +674,7 @@ class Database:
                 generation=handle.generation,
                 admission=admission,
                 record_sink=record_sink,
+                tracer=tracer,
                 **kwargs,
             )
         if kwargs:
@@ -694,6 +698,7 @@ class Database:
             generation=handle.generation,
             admission=admission,
             record_sink=record_sink,
+            tracer=tracer,
         )
 
     def serve_multi(
@@ -706,6 +711,7 @@ class Database:
         result_cache: Union[bool, ResultCache] = True,
         arbiter: Union[str, object] = "static",
         record_sink: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> MultiLayoutService:
         """Serve the table under several layouts, cheapest layout wins.
 
@@ -775,6 +781,7 @@ class Database:
             result_cache=rc,
             arbiter_policy=policy,
             record_sink=record_sink,
+            tracer=tracer,
         )
 
     def auto_adapt(
@@ -786,6 +793,7 @@ class Database:
         queue_depth: int = 64,
         admission: str = "lru",
         result_cache: Union[bool, ResultCache] = True,
+        tracer: Optional[object] = None,
     ) -> AdaptiveService:
         """Serve the active layout with online drift adaptation.
 
@@ -813,6 +821,7 @@ class Database:
             queue_depth=queue_depth,
             admission=admission,
             result_cache=self._resolve_result_cache(result_cache),
+            tracer=tracer,
         )
 
     def __repr__(self) -> str:

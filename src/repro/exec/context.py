@@ -71,5 +71,13 @@ class ExecContext:
     stats: Optional[QueryStats] = None
     #: True when ``stats`` came from the result cache.
     cached: bool = False
-    #: Per-stage wall seconds, keyed by stage name.
+    #: Per-stage wall seconds, keyed by stage name.  ``"queue"`` holds
+    #: the scheduler queue wait; dotted keys (``"scan.shard2"``) are
+    #: sub-attributions inside a stage and are excluded from the
+    #: sum-of-stages ≈ latency identity.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: In-flight :class:`~repro.obs.trace.TraceBuilder` when the owning
+    #: pipeline carries a tracer (``None`` otherwise — the zero-cost
+    #: default).  Duck-typed so repro.exec never imports repro.obs at
+    #: the type level; stages guard every touch with ``is not None``.
+    trace: Optional[object] = None

@@ -64,11 +64,72 @@ class ServeResult:
     cached: bool = False
     #: Label of the winning layout under multi-layout arbitration.
     winner: Optional[str] = None
-    #: Per-stage wall seconds for this execution.
+    #: Per-stage wall seconds for this execution.  Every configured
+    #: stage appears (zero-cost stages report ~0, and each stage's
+    #: ``finish`` time folds into its key); ``"queue"`` is the
+    #: scheduler queue wait.  The un-dotted keys sum to ≈
+    #: ``latency_seconds``.  Dotted keys (``"scan.shard2"``) are
+    #: per-shard sub-attributions *inside* the scatter stage — each is
+    #: that shard's own scan wall time, so they overlap the ``"scan"``
+    #: entry and are excluded from the sum identity.
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
     #: Generation of the layout that answered this query — what makes
     #: a result attributable under concurrent swaps and adaptation.
     generation: int = 0
+
+
+def _fingerprint(ctx: ExecContext) -> object:
+    """Stable query identity for trace ids: the planned query's
+    predicate + projection + labels (the same shape the result cache
+    keys on, minus cost profile).  Falls back to the SQL text before
+    planning succeeded."""
+    q = ctx.query
+    if q is None:
+        return ctx.sql
+    return (q.predicate, q.scan_columns(), q.name, q.template)
+
+
+def _span_attrs(span_name: str, ctx: ExecContext) -> dict:
+    """Avoided-work attributes for one just-finished stage span, read
+    off the context the stage filled."""
+    if span_name == "plan":
+        return {"template": ctx.query.template if ctx.query else None}
+    if span_name == "route":
+        return {
+            "considered": ctx.considered,
+            "routed": None if ctx.routed is None else len(ctx.routed),
+        }
+    if span_name == "arbitrate":
+        return {
+            "winner": ctx.winner,
+            "generation": ctx.generation,
+            "considered": ctx.considered,
+            "survivors": None if ctx.survivors is None else len(ctx.survivors),
+        }
+    if span_name == "result_cache":
+        return {"hit": ctx.cached, "generation": ctx.generation}
+    if span_name == "prune":
+        if ctx.per_shard is not None:
+            return {
+                "survivors": sum(len(s) for s in ctx.per_shard),
+                "owners": None if ctx.owners is None else len(ctx.owners),
+            }
+        return {
+            "survivors": None if ctx.survivors is None else len(ctx.survivors)
+        }
+    if span_name in ("scan", "scatter_scan", "merge"):
+        attrs: dict = {"cached": ctx.cached}
+        if span_name == "scatter_scan":
+            attrs["shards"] = 0 if ctx.owners is None else len(ctx.owners)
+        if ctx.stats is not None:
+            attrs.update(
+                blocks_scanned=ctx.stats.blocks_scanned,
+                tuples_scanned=ctx.stats.tuples_scanned,
+                bytes_read=ctx.stats.bytes_read,
+                rows_returned=ctx.stats.rows_returned,
+            )
+        return attrs
+    return {}
 
 
 class QueryPipeline:
@@ -84,12 +145,18 @@ class QueryPipeline:
         planner: SqlPlanner,
         stages: Sequence[Stage],
         metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.planner = planner
         self.stages: Tuple[Stage, ...] = tuple(stages)
         #: Optional :class:`~repro.serve.metrics.ServingMetrics`-like
         #: collector (duck-typed so repro.exec never imports repro.serve).
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.trace.Tracer`-like recorder
+        #: (duck-typed for the same reason).  ``None`` — the default —
+        #: keeps execution on the untraced fast path: the only cost is
+        #: one ``is None`` check per query.
+        self.tracer = tracer
         self._cache_stage: Optional[ResultCacheStage] = next(
             (s for s in self.stages if isinstance(s, ResultCacheStage)), None
         )
@@ -123,17 +190,51 @@ class QueryPipeline:
         """
         t_admit = admitted_at if admitted_at is not None else time.perf_counter()
         ctx = ExecContext(sql=sql, admitted_at=t_admit)
+        tracer = self.tracer
+        tb = None
+        if tracer is not None and getattr(tracer, "enabled", True):
+            tb = tracer.begin_query(sql)
+            ctx.trace = tb
+        t_start = time.perf_counter()
+        # Queue wait: admission-to-execution gap (≈0 on direct calls).
+        ctx.timings["queue"] = t_start - t_admit
+        if tb is not None:
+            tb.add_span("queue", t_admit, t_start - t_admit)
         for stage in self.stages:
             t0 = time.perf_counter()
             stage.run(ctx)
             elapsed = time.perf_counter() - t0
             ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + elapsed
+            if tb is not None:
+                tb.add_span(
+                    stage.span_name or stage.name,
+                    t0,
+                    elapsed,
+                    **_span_attrs(stage.span_name or stage.name, ctx),
+                )
         for stage in self.stages:
+            t0 = time.perf_counter()
             stage.finish(ctx)
+            # finish-time work (result-cache publish) folds into the
+            # owning stage's key so the sum-of-stages identity holds.
+            ctx.timings[stage.name] += time.perf_counter() - t0
         latency = time.perf_counter() - t_admit
         if self.metrics is not None:
             self.metrics.record(
                 latency, ctx.stats, cached=ctx.cached, winner=ctx.winner
+            )
+        if tb is not None:
+            stats = ctx.stats
+            tb.finish(
+                fingerprint=_fingerprint(ctx),
+                generation=ctx.generation,
+                cached=ctx.cached,
+                winner=ctx.winner,
+                blocks_scanned=stats.blocks_scanned if stats else 0,
+                tuples_scanned=stats.tuples_scanned if stats else 0,
+                bytes_read=stats.bytes_read if stats else 0,
+                rows_returned=stats.rows_returned if stats else 0,
+                latency_seconds=latency,
             )
         return ServeResult(
             sql=sql,
@@ -208,6 +309,7 @@ def serial_pipeline(
     router: Optional[QueryRouter],
     store: BlockStore,
     record_sink: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> QueryPipeline:
     """The pre-serving baseline: no memo, no cache, no metrics —
     every arrival plans (memoized planner), routes, prunes and scans
@@ -220,6 +322,7 @@ def serial_pipeline(
         result_cache=None,
         memoize=False,
         record_sink=record_sink,
+        tracer=tracer,
     )
 
 
@@ -233,6 +336,7 @@ def single_layout_pipeline(
     metrics: Optional[object] = None,
     memoize: bool = True,
     record_sink: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> QueryPipeline:
     """One engine over one layout: ``Database.execute`` (cache, no
     metrics) and :class:`~repro.serve.service.LayoutService` (cache +
@@ -246,7 +350,8 @@ def single_layout_pipeline(
         MergeStage(engine.profile, store.schema),
     ]
     return QueryPipeline(
-        planner, _with_record(stages, record_sink), metrics=metrics
+        planner, _with_record(stages, record_sink), metrics=metrics,
+        tracer=tracer,
     )
 
 
@@ -260,6 +365,7 @@ def sharded_pipeline(
     generation: int = 0,
     metrics: Optional[object] = None,
     record_sink: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> QueryPipeline:
     """The scatter-gather coordinator: routing and pruning happen once
     at the coordinator (per-shard survivor lists), the scan stage fans
@@ -274,7 +380,8 @@ def sharded_pipeline(
         MergeStage(profile, store.schema),
     ]
     return QueryPipeline(
-        planner, _with_record(stages, record_sink), metrics=metrics
+        planner, _with_record(stages, record_sink), metrics=metrics,
+        tracer=tracer,
     )
 
 
@@ -286,6 +393,7 @@ def multi_layout_pipeline(
     metrics: Optional[object] = None,
     arbiter_policy: Optional[object] = None,
     record_sink: Optional[object] = None,
+    tracer: Optional[object] = None,
 ) -> QueryPipeline:
     """Cost-arbitrated serving over several layouts of one table: the
     arbitration stage routes + prunes against every layout and binds
@@ -301,5 +409,6 @@ def multi_layout_pipeline(
         MergeStage(profile, bindings[0].store.schema),
     ]
     return QueryPipeline(
-        planner, _with_record(stages, record_sink), metrics=metrics
+        planner, _with_record(stages, record_sink), metrics=metrics,
+        tracer=tracer,
     )

@@ -79,6 +79,11 @@ class Stage:
     """
 
     name = "stage"
+    #: Name trace spans use for this stage.  Defaults to ``name``;
+    #: stages that share a timing key with the stage they substitute
+    #: (the arbiter reports under ``route``, the scatter scan under
+    #: ``scan``) override it so traces show the true operation.
+    span_name: Optional[str] = None
 
     def run(self, ctx: ExecContext) -> None:
         raise NotImplementedError
@@ -337,6 +342,7 @@ class ScatterScanStage(Stage):
     """
 
     name = "scan"
+    span_name = "scatter_scan"
 
     def __init__(self, shards: Sequence[object]) -> None:
         self.shards = tuple(shards)
@@ -366,6 +372,27 @@ class ScatterScanStage(Stage):
             )
         ctx.parts = tuple(futures[i].result() for i in ctx.owners)
         ctx.scatter_seconds = time.perf_counter() - t0
+        # Per-shard attribution: dotted sub-keys under the stage's
+        # timing (excluded from the sum-of-stages identity) plus child
+        # trace spans.  Each part's wall time is the shard's own scan
+        # clock; the spans all anchor at the scatter start because the
+        # coordinator never observes per-shard dispatch instants.
+        for i, part in zip(ctx.owners, ctx.parts):
+            ctx.timings[f"scan.shard{i}"] = (
+                ctx.timings.get(f"scan.shard{i}", 0.0) + part.wall_seconds
+            )
+            if ctx.trace is not None:
+                ctx.trace.add_span(
+                    f"scatter_scan.shard{i}",
+                    t0,
+                    part.wall_seconds,
+                    parent="scatter_scan",
+                    shard=i,
+                    blocks_scanned=part.blocks_scanned,
+                    tuples_scanned=part.tuples_scanned,
+                    bytes_read=part.bytes_read,
+                    rows_returned=part.rows_returned,
+                )
         with self._fanout_lock:
             self._fanout_queries += 1
             self._fanout_shards += len(ctx.owners)
@@ -513,6 +540,7 @@ class ArbitrateStage(Stage):
     """
 
     name = "route"
+    span_name = "arbitrate"
 
     def __init__(
         self,

@@ -1,0 +1,45 @@
+"""repro.obs — observability: tracing, metrics registry, trajectories.
+
+Three seams, all opt-in and zero-cost when unused:
+
+* :mod:`repro.obs.trace` — per-query :class:`Trace`/:class:`Span`
+  recording with JSON-lines and Chrome trace-event (Perfetto) export;
+* :mod:`repro.obs.registry` — labeled Counter/Gauge/Histogram
+  primitives plus collector callbacks, exported as Prometheus text or
+  JSON;
+* :mod:`repro.obs.bench` — schema-versioned ``BENCH_<scenario>.json``
+  trajectory files for PR-over-PR perf tracking;
+* :mod:`repro.obs.clock` — the sanctioned monotonic/wall clocks.
+"""
+
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_document,
+    bench_path,
+    plain,
+    validate_bench,
+    write_bench,
+)
+from .clock import now, wall_time
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Sample
+from .trace import Span, Trace, TraceBuilder, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "Span",
+    "Trace",
+    "TraceBuilder",
+    "Tracer",
+    "bench_document",
+    "bench_path",
+    "now",
+    "plain",
+    "validate_bench",
+    "wall_time",
+    "write_bench",
+]

@@ -1,0 +1,219 @@
+"""Benchmark trajectory emission: ``BENCH_<scenario>.json`` files.
+
+ROADMAP item 5 flags that perf is not tracked PR-over-PR because no
+machine-readable benchmark artifact exists.  This module closes that
+gap: :func:`bench_document` rolls a serving run's final
+``MetricsSnapshot`` (plus, optionally, the replay summary and a
+:class:`~repro.obs.registry.MetricsRegistry` export) into one
+schema-versioned JSON document, :func:`write_bench` lands it as
+``BENCH_<scenario>.json``, and :func:`validate_bench` checks a
+document against the schema — hand-rolled, because the container has
+no ``jsonschema`` — so CI can gate on artifact shape.
+
+``python -m repro.obs.bench FILE...`` validates files from the command
+line (exit 0 = all valid, 2 = any invalid), which is exactly what the
+``bench-smoke`` CI job runs against the artifact it just emitted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from .clock import wall_time
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_document",
+    "bench_path",
+    "plain",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Bump on any backwards-incompatible change to the document shape.
+BENCH_SCHEMA_VERSION = 1
+
+_SCENARIO_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def plain(value: Any) -> Any:
+    """Recursively reduce snapshots to JSON-serializable plain data.
+
+    Handles nested dataclasses (``MetricsSnapshot`` carries
+    ``CacheStats``/``AdaptSnapshot``/``ArbiterStats``), numpy scalars,
+    mappings, and sequences.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [plain(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    # numpy scalars (and anything else numeric) expose item();
+    # fall back to str for the truly exotic rather than crashing an
+    # export path.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return plain(item())
+        except Exception:
+            pass
+    return str(value)
+
+
+def bench_document(
+    scenario: str,
+    source: str,
+    snapshot: Any,
+    replay: Optional[Mapping[str, Any]] = None,
+    registry: Any = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one schema-versioned trajectory document.
+
+    ``source`` names the producing command (``serve-bench`` /
+    ``adapt-report``); ``snapshot`` is the run's final
+    ``MetricsSnapshot`` (any dataclass works — it is flattened via
+    :func:`plain`); ``replay`` is the optional replay summary
+    (wall seconds, offered qps, ...); ``registry`` adds the full
+    metrics-registry JSON export when provided.
+    """
+    if not _SCENARIO_RE.match(scenario):
+        raise ValueError(
+            f"invalid scenario {scenario!r}: use letters, digits, '_', '.', '-'"
+        )
+    snap = plain(snapshot)
+    if not isinstance(snap, dict):
+        raise ValueError("snapshot must flatten to a JSON object")
+    doc: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scenario": scenario,
+        "source": source,
+        "created_unix": wall_time(),
+        "metrics": snap,
+    }
+    if replay is not None:
+        doc["replay"] = plain(dict(replay))
+    if registry is not None:
+        doc["registry"] = plain(registry.to_json())
+    if extra:
+        doc["extra"] = plain(dict(extra))
+    return doc
+
+
+def bench_path(directory, scenario: str) -> Path:
+    return Path(directory) / f"BENCH_{scenario}.json"
+
+
+def write_bench(directory, document: Mapping[str, Any]) -> Path:
+    """Validate and write ``BENCH_<scenario>.json`` under *directory*
+    (created if needed); returns the written path."""
+    validate_bench(document)
+    path = bench_path(directory, str(document["scenario"]))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def _fail(errors: List[str], message: str) -> None:
+    errors.append(message)
+
+
+def validate_bench(document: Any) -> None:
+    """Hand-rolled schema check (the container ships no ``jsonschema``).
+
+    Raises ``ValueError`` listing every violation at once, so CI output
+    shows the full damage in one run.
+    """
+    errors: List[str] = []
+    if not isinstance(document, Mapping):
+        raise ValueError("bench document must be a JSON object")
+    version = document.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        _fail(
+            errors,
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}",
+        )
+    scenario = document.get("scenario")
+    if not isinstance(scenario, str) or not _SCENARIO_RE.match(scenario):
+        _fail(errors, f"scenario must match {_SCENARIO_RE.pattern}: {scenario!r}")
+    source = document.get("source")
+    if not isinstance(source, str) or not source:
+        _fail(errors, "source must be a non-empty string")
+    created = document.get("created_unix")
+    if not isinstance(created, (int, float)) or created <= 0:
+        _fail(errors, f"created_unix must be a positive number, got {created!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, Mapping):
+        _fail(errors, "metrics must be an object")
+    else:
+        for key in ("queries", "latency_mean_ms", "latency_p95_ms"):
+            if key not in metrics:
+                _fail(errors, f"metrics missing required key {key!r}")
+            elif not isinstance(metrics[key], (int, float)):
+                _fail(errors, f"metrics[{key!r}] must be a number")
+        queries = metrics.get("queries")
+        if isinstance(queries, (int, float)) and queries < 0:
+            _fail(errors, "metrics['queries'] must be >= 0")
+    for optional_obj in ("replay", "registry", "extra"):
+        if optional_obj in document and not isinstance(
+            document[optional_obj], Mapping
+        ):
+            _fail(errors, f"{optional_obj} must be an object when present")
+    for key in document:
+        if key not in (
+            "schema_version",
+            "scenario",
+            "source",
+            "created_unix",
+            "metrics",
+            "replay",
+            "registry",
+            "extra",
+        ):
+            _fail(errors, f"unknown top-level key {key!r}")
+    if errors:
+        raise ValueError(
+            "invalid bench document:\n  - " + "\n  - ".join(errors)
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.bench FILE...`` — validate trajectory files."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.obs.bench BENCH_file.json ...", file=sys.stderr)
+        return 2
+    status = 0
+    for name in args:
+        try:
+            with open(name) as f:
+                doc = json.load(f)
+            validate_bench(doc)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"{name}: INVALID: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        print(
+            f"{name}: ok (scenario={doc['scenario']}, "
+            f"queries={doc['metrics'].get('queries')})"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -265,6 +265,46 @@ class BlockCache:
                 admission_rejections=self._admission_rejections,
             )
 
+    def publish(self, registry: object, **labels: object) -> None:
+        """Publish a collector view of :meth:`stats` into a
+        :class:`~repro.obs.registry.MetricsRegistry` (thin view — the
+        :class:`CacheStats` snapshot stays the source of truth)."""
+        from ..obs.registry import Sample
+
+        def collect():
+            s = self.stats()
+            counters = (
+                ("repro_cache_hits_total", s.hits, "Buffer-pool hits"),
+                ("repro_cache_misses_total", s.misses, "Buffer-pool misses"),
+                ("repro_cache_evictions_total", s.evictions, "Evictions"),
+                (
+                    "repro_cache_decoded_bytes_total",
+                    s.decoded_bytes,
+                    "Bytes decoded on misses",
+                ),
+                (
+                    "repro_cache_served_bytes_total",
+                    s.served_bytes,
+                    "Bytes served straight from the pool",
+                ),
+                (
+                    "repro_cache_admission_rejections_total",
+                    s.admission_rejections,
+                    "Inserts the admission gate turned away",
+                ),
+            )
+            for name, value, help_text in counters:
+                yield Sample.of(name, value, labels, help_text, "counter")
+            gauges = (
+                ("repro_cache_entries", s.entries, "Resident entries"),
+                ("repro_cache_bytes", s.cached_bytes, "Resident bytes"),
+                ("repro_cache_budget_bytes", s.budget_bytes, "Byte budget"),
+            )
+            for name, value, help_text in gauges:
+                yield Sample.of(name, value, labels, help_text, "gauge")
+
+        registry.register_collector(collect, name="block_cache")
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -224,6 +224,85 @@ class ServingMetrics:
             self._window_start = time.perf_counter()
             self._last_record = self._window_start
 
+    def publish(self, registry: object, **labels: object) -> None:
+        """Publish this collector into a
+        :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Registers a collector callback that freezes one
+        :class:`MetricsSnapshot` per export — this object stays the
+        source of truth and its snapshot stays the API; the registry
+        merely *views* it (no behavior change, no double accounting).
+        """
+        from ..obs.registry import Sample
+
+        def collect():
+            snap = self.snapshot()
+            counters = (
+                ("repro_serve_queries_total", snap.queries, "Queries served"),
+                (
+                    "repro_serve_blocks_scanned_total",
+                    snap.blocks_scanned,
+                    "Blocks scanned (cache hits excluded)",
+                ),
+                (
+                    "repro_serve_tuples_scanned_total",
+                    snap.tuples_scanned,
+                    "Tuples scanned (cache hits excluded)",
+                ),
+                (
+                    "repro_serve_rows_returned_total",
+                    snap.rows_returned,
+                    "Rows returned to clients",
+                ),
+                (
+                    "repro_serve_bytes_read_total",
+                    snap.bytes_read,
+                    "Decoded bytes queries consumed",
+                ),
+            )
+            for name, value, help_text in counters:
+                yield Sample.of(name, value, labels, help_text, "counter")
+            gauges = (
+                ("repro_serve_qps", snap.qps, "Window throughput"),
+                (
+                    "repro_serve_window_seconds",
+                    snap.window_seconds,
+                    "Observation window length",
+                ),
+                (
+                    "repro_serve_latency_mean_ms",
+                    snap.latency_mean_ms,
+                    "Mean latency over the window",
+                ),
+                (
+                    "repro_serve_latency_p50_ms",
+                    snap.latency_p50_ms,
+                    "Median latency over the window",
+                ),
+                (
+                    "repro_serve_latency_p95_ms",
+                    snap.latency_p95_ms,
+                    "p95 latency over the window",
+                ),
+                (
+                    "repro_serve_latency_p99_ms",
+                    snap.latency_p99_ms,
+                    "p99 latency over the window",
+                ),
+            )
+            for name, value, help_text in gauges:
+                yield Sample.of(name, value, labels, help_text, "gauge")
+            for layout, wins in snap.layout_wins:
+                yield Sample.of(
+                    "repro_serve_layout_wins_total",
+                    wins,
+                    {**labels, "layout": layout},
+                    "Queries each layout won under arbitration",
+                    "counter",
+                )
+
+        registry.register_collector(collect, name="serving_metrics")
+
     def snapshot(
         self,
         cache: Optional[CacheStats] = None,

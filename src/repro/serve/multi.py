@@ -151,6 +151,10 @@ class MultiLayoutService(ReplayableService):
     record_sink:
         Optional query-log sink at the pipeline tail (chained after
         the policy's own observer when both are present).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; traced queries
+        carry an ``arbitrate`` span with the winning layout label and
+        generation.
     """
 
     def __init__(
@@ -164,6 +168,7 @@ class MultiLayoutService(ReplayableService):
         result_cache: Optional[ResultCache] = None,
         arbiter_policy: Optional[object] = None,
         record_sink: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         layouts = list(layouts)
         if not layouts:
@@ -191,7 +196,9 @@ class MultiLayoutService(ReplayableService):
                 else None,
                 record_sink,
             ),
+            tracer=tracer,
         )
+        self.tracer = tracer
         self._arbiter = self.pipeline.stage("route")
 
     # ------------------------------------------------------------------
@@ -250,6 +257,16 @@ class MultiLayoutService(ReplayableService):
         if policy is not None and hasattr(policy, "stats"):
             adapt = AdaptSnapshot(arbiter=policy.stats())
         return self.metrics.snapshot(self._cache_stats(), adapt=adapt)
+
+    def publish_metrics(self, registry: object, **labels: object) -> None:
+        """Publish this facade's collectors into a
+        :class:`~repro.obs.registry.MetricsRegistry` (serving metrics
+        incl. layout wins, scheduler, per-layout block caches)."""
+        self.metrics.publish(registry, **labels)
+        self.scheduler.publish(registry, **labels)
+        for binding, cache in zip(self.bindings, self._block_caches):
+            if cache is not None:
+                cache.publish(registry, layout=binding.label, **labels)
 
     def report(self) -> str:
         """Operator-facing text report for the current window."""

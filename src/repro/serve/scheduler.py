@@ -146,6 +146,50 @@ class Scheduler:
                 in_flight=self._in_flight,
             )
 
+    def publish(self, registry: object, **labels: object) -> None:
+        """Publish a collector view of :meth:`stats` into a
+        :class:`~repro.obs.registry.MetricsRegistry` (thin view — the
+        :class:`SchedulerStats` snapshot stays the source of truth)."""
+        from ..obs.registry import Sample
+
+        def collect():
+            s = self.stats()
+            counters = (
+                (
+                    "repro_scheduler_submitted_total",
+                    s.submitted,
+                    "Queries admitted",
+                ),
+                (
+                    "repro_scheduler_completed_total",
+                    s.completed,
+                    "Queries completed",
+                ),
+                (
+                    "repro_scheduler_rejected_total",
+                    s.rejected,
+                    "Queries shed at admission",
+                ),
+            )
+            for name, value, help_text in counters:
+                yield Sample.of(name, value, labels, help_text, "counter")
+            gauges = (
+                (
+                    "repro_scheduler_in_flight",
+                    s.in_flight,
+                    "Admitted but unfinished right now",
+                ),
+                (
+                    "repro_scheduler_max_in_flight",
+                    s.max_in_flight,
+                    "Peak concurrent admitted work",
+                ),
+            )
+            for name, value, help_text in gauges:
+                yield Sample.of(name, value, labels, help_text, "gauge")
+
+        registry.register_collector(collect, name="scheduler")
+
     def shutdown(self, wait: bool = True) -> None:
         self._shutdown = True
         self._pool.shutdown(wait=wait)

@@ -292,6 +292,10 @@ class LayoutService(ReplayableService):
     admission:
         Buffer-pool admission policy, ``"lru"`` or ``"lfu"`` (see
         :class:`~repro.serve.cache.BlockCache`).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, every
+        served query records one per-stage trace.  ``None`` (default)
+        keeps the untraced fast path.
     """
 
     def __init__(
@@ -309,6 +313,7 @@ class LayoutService(ReplayableService):
         metrics: Optional[ServingMetrics] = None,
         record_sink: Optional[object] = None,
         admission: str = "lru",
+        tracer: Optional[object] = None,
     ) -> None:
         self.store = store
         self.planner = planner if planner is not None else SqlPlanner(store.schema)
@@ -343,7 +348,9 @@ class LayoutService(ReplayableService):
             generation=generation,
             metrics=self.metrics,
             record_sink=record_sink,
+            tracer=tracer,
         )
+        self.tracer = tracer
         # Kept for observability (report()) — the memo itself belongs
         # to the pipeline's route stage.
         self._route_memo: RouteMemo = self.pipeline.stage("route").memo
@@ -423,6 +430,52 @@ class LayoutService(ReplayableService):
 
     def _cache_stats(self) -> Optional["CacheStats"]:
         return self.cache.stats() if self.cache is not None else None
+
+    def publish_metrics(self, registry: object, **labels: object) -> None:
+        """Publish every collector this service owns into a
+        :class:`~repro.obs.registry.MetricsRegistry`: serving metrics,
+        scheduler, buffer pool and result cache (where attached)."""
+        self.metrics.publish(registry, **labels)
+        self.scheduler.publish(registry, **labels)
+        if self.cache is not None:
+            self.cache.publish(registry, **labels)
+        if self.result_cache is not None:
+            from ..obs.registry import Sample
+
+            cache = self.result_cache
+
+            def collect():
+                rc = cache.stats()
+                yield Sample.of(
+                    "repro_result_cache_entries",
+                    rc.entries,
+                    labels,
+                    "Result-cache entries resident",
+                    "gauge",
+                )
+                yield Sample.of(
+                    "repro_result_cache_hits_total",
+                    rc.hits,
+                    labels,
+                    "Result-cache hits",
+                    "counter",
+                )
+                yield Sample.of(
+                    "repro_result_cache_misses_total",
+                    rc.misses,
+                    labels,
+                    "Result-cache misses",
+                    "counter",
+                )
+                yield Sample.of(
+                    "repro_result_cache_tuples_avoided_total",
+                    rc.tuples_avoided,
+                    labels,
+                    "Tuple-scans the result cache avoided",
+                    "counter",
+                )
+
+            registry.register_collector(collect, name="result_cache")
 
     def report(self) -> str:
         """Operator-facing text report for the current window."""

@@ -121,6 +121,12 @@ class ShardedLayoutService(ReplayableService):
         Query-log sink appended at the coordinator pipeline's tail
         (shards never double-record) and the per-shard buffer-pool
         admission policy — same semantics as :class:`LayoutService`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` attached at the
+        coordinator pipeline: each query's trace carries the
+        ``scatter_scan`` span plus one ``scatter_scan.shard<i>`` child
+        span per owning shard.  Shards are never traced individually
+        (the coordinator observes the whole scatter).
     """
 
     def __init__(
@@ -140,6 +146,7 @@ class ShardedLayoutService(ReplayableService):
         generation: int = 0,
         record_sink: Optional[object] = None,
         admission: str = "lru",
+        tracer: Optional[object] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -209,7 +216,9 @@ class ShardedLayoutService(ReplayableService):
             generation=generation,
             metrics=self.metrics,
             record_sink=record_sink,
+            tracer=tracer,
         )
+        self.tracer = tracer
         self._route_memo: RouteMemo = self.pipeline.stage("route").memo
         self._scatter = self.pipeline.stage("scan")
 
@@ -280,6 +289,18 @@ class ShardedLayoutService(ReplayableService):
         """Mean shards scattered to per query (the partition-locality
         metric: lower means the strategy kept survivors together)."""
         return self._scatter.mean_fanout
+
+    def publish_metrics(self, registry: object, **labels: object) -> None:
+        """Publish coordinator + per-shard collectors into a
+        :class:`~repro.obs.registry.MetricsRegistry`; shard series are
+        distinguished by a ``shard`` label."""
+        self.metrics.publish(registry, **labels)
+        self.scheduler.publish(registry, role="coordinator", **labels)
+        for i, shard in enumerate(self.shards):
+            shard.metrics.publish(registry, shard=i, **labels)
+            shard.scheduler.publish(registry, role="shard", shard=i, **labels)
+            if shard.cache is not None:
+                shard.cache.publish(registry, shard=i, **labels)
 
     def report(self) -> str:
         """Operator-facing text report: aggregate, then per shard."""

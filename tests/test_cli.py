@@ -435,3 +435,120 @@ class TestAdaptCommands:
         code = main(["adapt-report", "--layout", str(layout_dir)])
         assert code == 2
         assert "logical table" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_json_output_is_one_parseable_document(
+        self, layout_dir, capsys
+    ):
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--repeat", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout is pure JSON
+        assert doc["command"] == "serve-bench"
+        assert doc["replay"]["completed"] == doc["replay"]["issued"] == 9
+        assert doc["metrics"]["queries"] == 9
+        # The human report moved to stderr, untouched.
+        assert "cache hit rate" in captured.err
+
+    def test_emit_bench_writes_schema_valid_file(
+        self, layout_dir, tmp_path, capsys
+    ):
+        from repro.obs import validate_bench
+
+        bench_dir = tmp_path / "bench-out"
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--repeat", "3",
+                "--emit-bench", str(bench_dir),
+                "--scenario", "cli_smoke",
+            ]
+        )
+        assert code == 0
+        path = bench_dir / "BENCH_cli_smoke.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        validate_bench(doc)  # no raise
+        assert doc["source"] == "serve-bench"
+        assert doc["replay"]["completed"] == 9
+
+    def test_trace_flag_writes_both_exports(
+        self, layout_dir, tmp_path, capsys
+    ):
+        prefix = tmp_path / "run"
+        code = main(
+            [
+                "serve-bench",
+                "--layout", str(layout_dir),
+                "--shards", "2",
+                "--repeat", "2",
+                "--trace", str(prefix),
+            ]
+        )
+        assert code == 0
+        assert "Perfetto" in capsys.readouterr().out
+        jsonl = (tmp_path / "run.jsonl").read_text().splitlines()
+        assert len(jsonl) == 6  # one trace per admitted query
+        for line in jsonl:
+            assert json.loads(line)["kind"] == "query"
+        chrome = json.loads((tmp_path / "run.trace.json").read_text())
+        assert chrome["traceEvents"]
+
+    def test_metrics_export_prometheus(self, layout_dir, capsys):
+        code = main(
+            [
+                "metrics-export",
+                "--layout", str(layout_dir),
+                "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_queries_total counter" in out
+        assert 'repro_serve_queries_total{service="cli"} 6' in out
+        assert "repro_scheduler_submitted_total" in out
+        assert "repro_cache_hits_total" in out
+
+    def test_metrics_export_json(self, layout_dir, capsys):
+        code = main(
+            [
+                "metrics-export",
+                "--layout", str(layout_dir),
+                "--repeat", "2",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        fam = doc["repro_serve_queries_total"]
+        assert fam["type"] == "counter"
+        assert fam["samples"][0]["value"] == 6
+
+    def test_adapt_report_json_carries_ledger(
+        self, adaptive_layout_dir, capsys
+    ):
+        code = main(
+            [
+                "adapt-report",
+                "--layout", str(adaptive_layout_dir),
+                "--repeat", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["command"] == "adapt-report"
+        assert doc["extra"]["generation"] >= 1
+        assert "drift_score" in doc["extra"]
+        assert doc["metrics"]["adapt"] is not None
+        assert "adaptation" in captured.err

@@ -1,0 +1,306 @@
+"""Tests for repro.obs: clock, metrics registry, bench trajectories."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    BENCH_SCHEMA_VERSION,
+    MetricsRegistry,
+    Sample,
+    bench_document,
+    bench_path,
+    now,
+    plain,
+    validate_bench,
+    wall_time,
+    write_bench,
+)
+from repro.obs.bench import main as bench_main
+from repro.serve.metrics import ServingMetrics
+
+
+# ----------------------------------------------------------------------
+# Clock
+# ----------------------------------------------------------------------
+
+
+class TestClock:
+    def test_now_is_monotonic(self):
+        samples = [now() for _ in range(100)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    def test_wall_time_is_epoch(self):
+        assert abs(wall_time() - time.time()) < 5.0
+
+
+# ----------------------------------------------------------------------
+# Registry primitives
+# ----------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(2, shard=0)
+        c.inc(3, shard=0)
+        c.inc(7, shard=1)
+        assert c.value() == 1
+        assert c.value(shard=0) == 5
+        assert c.value(shard=1) == 7
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 13
+
+    def test_histogram_cumulative_buckets(self):
+        h = MetricsRegistry().histogram(
+            "repro_lat", buckets=(0.01, 0.1, 1.0)
+        )
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        series = h.series()
+        assert series.count == 4
+        assert series.sum == pytest.approx(5.555)
+        # Cumulative: each bucket counts everything <= its bound.
+        assert series.bucket_counts == [1, 2, 3]
+
+    def test_histogram_samples_carry_inf_bucket(self):
+        h = MetricsRegistry().histogram("repro_lat", buckets=(0.1,))
+        h.observe(10.0)
+        names = {(s.name, s.labels) for s in h.samples()}
+        assert ("repro_lat_bucket", (("le", "+Inf"),)) in names
+        assert ("repro_lat_sum", ()) in names
+        assert ("repro_lat_count", ()) in names
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        c = reg.counter("repro_ok_total")
+        with pytest.raises(ValueError):
+            c.inc(1, **{"bad-label": 1})
+
+    def test_get_or_create_is_idempotent_but_kind_checked(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total")
+        assert reg.counter("repro_x_total") is a
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_concurrent_increments_reconcile(self):
+        """8 threads x 1000 increments: no lost updates."""
+        reg = MetricsRegistry()
+        c = reg.counter("repro_hammer_total")
+        h = reg.histogram("repro_hammer_lat", buckets=(0.5,))
+        barrier = threading.Barrier(8)
+
+        def work(tid):
+            barrier.wait()
+            for _ in range(1000):
+                c.inc(1, thread=tid % 2)
+                h.observe(0.1)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(thread=0) + c.value(thread=1) == 8000
+        assert h.series().count == 8000
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+
+
+class TestExports:
+    def test_prometheus_text_shape(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_q_total", "Queries served")
+        c.inc(3, service="a")
+        text = reg.to_prometheus_text()
+        assert "# HELP repro_q_total Queries served" in text
+        assert "# TYPE repro_q_total counter" in text
+        assert 'repro_q_total{service="a"} 3' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_family_shares_type_line(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat", "Latency", buckets=(0.1,)).observe(0.05)
+        text = reg.to_prometheus_text()
+        assert text.count("# TYPE repro_lat histogram") == 1
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_q_total").inc(1, q='say "hi"\n')
+        text = reg.to_prometheus_text()
+        assert 'q="say \\"hi\\"\\n"' in text
+
+    def test_untouched_metric_still_exported(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_idle", "never set")
+        assert "repro_idle 0" in reg.to_prometheus_text()
+
+    def test_json_export_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_q_total", "Queries").inc(2, s="x")
+        doc = json.loads(json.dumps(reg.to_json()))
+        fam = doc["repro_q_total"]
+        assert fam["type"] == "counter"
+        assert fam["samples"] == [
+            {"name": "repro_q_total", "labels": {"s": "x"}, "value": 2.0}
+        ]
+
+    def test_collector_yields_samples_at_export(self):
+        reg = MetricsRegistry()
+        state = {"v": 1}
+        reg.register_collector(
+            lambda: [Sample.of("repro_live", state["v"], kind="gauge")]
+        )
+        assert "repro_live 1" in reg.to_prometheus_text()
+        state["v"] = 9
+        assert "repro_live 9" in reg.to_prometheus_text()
+
+    def test_failing_collector_is_counted_not_fatal(self):
+        reg = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("collector bug")
+
+        reg.register_collector(boom, name="boom")
+        text = reg.to_prometheus_text()
+        assert "repro_collector_errors 1" in text
+
+    def test_serving_metrics_publish_is_a_thin_view(self):
+        """ServingMetrics stays authoritative; the registry reflects
+        the live snapshot at each export."""
+        from repro.engine.executor import QueryStats
+
+        stats = QueryStats(
+            query_name="q",
+            template="t",
+            blocks_considered=3,
+            blocks_scanned=2,
+            tuples_scanned=100,
+            rows_returned=10,
+            columns_read=1,
+            modeled_ms=0.0,
+            wall_seconds=0.01,
+            bytes_read=800,
+        )
+        metrics = ServingMetrics()
+        reg = MetricsRegistry()
+        metrics.publish(reg, service="t")
+        metrics.record(latency_seconds=0.01, stats=stats)
+        text = reg.to_prometheus_text()
+        assert 'repro_serve_queries_total{service="t"} 1' in text
+        assert 'repro_serve_blocks_scanned_total{service="t"} 2' in text
+        metrics.record(latency_seconds=0.01, stats=stats)
+        assert (
+            'repro_serve_queries_total{service="t"} 2'
+            in reg.to_prometheus_text()
+        )
+
+
+# ----------------------------------------------------------------------
+# Bench trajectories
+# ----------------------------------------------------------------------
+
+
+def _snapshot_like() -> dict:
+    return {
+        "queries": 9,
+        "latency_mean_ms": 1.5,
+        "latency_p95_ms": 3.0,
+    }
+
+
+class TestBench:
+    def test_document_shape(self):
+        doc = bench_document(
+            "smoke", "serve-bench", _snapshot_like(),
+            replay={"qps": 100.0},
+        )
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["scenario"] == "smoke"
+        assert doc["created_unix"] > 0
+        validate_bench(doc)  # no raise
+
+    def test_plain_flattens_numpy_and_dataclasses(self):
+        from repro.serve.cache import CacheStats
+
+        flattened = plain(
+            {
+                "n": np.int64(3),
+                "f": np.float64(0.5),
+                "stats": CacheStats(1, 2, 0, 3, 4, 5, 6, 7, 0),
+                "seq": (np.int64(1), 2),
+            }
+        )
+        assert flattened["n"] == 3
+        assert flattened["f"] == 0.5
+        assert flattened["stats"]["hits"] == 1
+        assert flattened["seq"] == [1, 2]
+        json.dumps(flattened)  # everything is serializable
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            bench_document("no spaces", "x", _snapshot_like())
+
+    def test_validate_reports_all_errors_at_once(self):
+        doc = bench_document("ok", "serve-bench", _snapshot_like())
+        doc["schema_version"] = 99
+        doc["source"] = ""
+        doc["surprise"] = {}
+        with pytest.raises(ValueError) as err:
+            validate_bench(doc)
+        message = str(err.value)
+        assert "schema_version" in message
+        assert "source" in message
+        assert "surprise" in message
+
+    def test_validate_requires_metric_keys(self):
+        doc = bench_document("ok", "serve-bench", _snapshot_like())
+        del doc["metrics"]["latency_p95_ms"]
+        with pytest.raises(ValueError, match="latency_p95_ms"):
+            validate_bench(doc)
+
+    def test_write_bench_lands_named_file(self, tmp_path):
+        doc = bench_document("smoke", "serve-bench", _snapshot_like())
+        path = write_bench(tmp_path, doc)
+        assert path == bench_path(tmp_path, "smoke")
+        assert json.loads(path.read_text())["scenario"] == "smoke"
+
+    def test_cli_validator_exit_codes(self, tmp_path, capsys):
+        good = write_bench(
+            tmp_path, bench_document("g", "serve-bench", _snapshot_like())
+        )
+        assert bench_main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema_version": 0}')
+        assert bench_main([str(bad)]) == 2
+        assert "INVALID" in capsys.readouterr().err
+
+        assert bench_main([str(tmp_path / "missing.json")]) == 2
